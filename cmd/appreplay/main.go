@@ -1,0 +1,50 @@
+// Command appreplay reproduces the paper's Sections 4-5: it records
+// the modelled mobile-app traffic patterns (Figure 17) and replays the
+// short-flow-dominated (CNN launch) and long-flow-dominated (Dropbox
+// click) workloads over emulated WiFi+LTE conditions with all six
+// transport configurations (Figures 18-21).
+//
+// Usage:
+//
+//	appreplay [-seed N] [-locations N] [-only fig]
+//
+// -only selects: fig17, fig18, fig19, fig20, fig21.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multinet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "RNG seed")
+	locations := flag.Int("locations", 0, "restrict oracle sweeps to first N conditions (0 = all 20)")
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Locations: *locations}
+	run := map[string]func() fmt.Stringer{
+		"fig17": func() fmt.Stringer { return experiments.Figure17(o) },
+		"fig18": func() fmt.Stringer { return experiments.Figure18(o) },
+		"fig19": func() fmt.Stringer { return experiments.Figure19(o) },
+		"fig20": func() fmt.Stringer { return experiments.Figure20(o) },
+		"fig21": func() fmt.Stringer { return experiments.Figure21(o) },
+	}
+	order := []string{"fig17", "fig18", "fig19", "fig20", "fig21"}
+
+	if *only != "" {
+		f, ok := run[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v\n", *only, order)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+		return
+	}
+	for _, name := range order {
+		fmt.Println(run[name]())
+	}
+}

@@ -1,0 +1,41 @@
+// Command cellvswifi reproduces the paper's Section 2: it synthesises
+// the crowd-sourced Cell vs WiFi measurement campaign and prints the
+// regenerated Table 1 and the Figure 3/4 CDFs with their headline
+// LTE-win fractions.
+//
+// Usage:
+//
+//	cellvswifi [-seed N] [-table1] [-fig3] [-fig4]
+//
+// With no figure flags, everything is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multinet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "campaign RNG seed")
+	table1 := flag.Bool("table1", false, "print only Table 1")
+	fig3 := flag.Bool("fig3", false, "print only Figure 3")
+	fig4 := flag.Bool("fig4", false, "print only Figure 4")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed}
+	all := !*table1 && !*fig3 && !*fig4
+
+	w := os.Stdout
+	if all || *table1 {
+		fmt.Fprintln(w, experiments.Table1(o))
+	}
+	if all || *fig3 {
+		fmt.Fprintln(w, experiments.Figure3(o))
+	}
+	if all || *fig4 {
+		fmt.Fprintln(w, experiments.Figure4(o))
+	}
+}

@@ -1,0 +1,58 @@
+// Command mptcpbench reproduces the paper's Section 3: the 20-location
+// MPTCP measurement sweeps (Table 2, Figures 6-15) plus the Section
+// 3.6 energy analysis (Figure 16).
+//
+// Usage:
+//
+//	mptcpbench [-seed N] [-trials N] [-locations N] [-only fig]
+//
+// -only selects a single experiment: table2, fig6, fig7, fig8, fig9,
+// fig10, fig11, fig12, coupling, fig15, fig16, energy.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"multinet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "RNG seed")
+	trials := flag.Int("trials", 0, "trials per measurement point (0 = default)")
+	locations := flag.Int("locations", 0, "restrict to first N locations (0 = all 20)")
+	only := flag.String("only", "", "run a single experiment")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed, Trials: *trials, Locations: *locations}
+	run := map[string]func() fmt.Stringer{
+		"table2":   func() fmt.Stringer { return experiments.Table2(o) },
+		"fig6":     func() fmt.Stringer { return experiments.Figure6(o) },
+		"fig7":     func() fmt.Stringer { return experiments.Figure7(o) },
+		"fig8":     func() fmt.Stringer { return experiments.Figure8(o) },
+		"fig9":     func() fmt.Stringer { return experiments.Figure9(o) },
+		"fig10":    func() fmt.Stringer { return experiments.Figure10(o) },
+		"fig11":    func() fmt.Stringer { return experiments.Figure11(o) },
+		"fig12":    func() fmt.Stringer { return experiments.Figure12(o) },
+		"coupling": func() fmt.Stringer { return experiments.Coupling(o) },
+		"fig15":    func() fmt.Stringer { return experiments.Figure15(o) },
+		"fig16":    func() fmt.Stringer { return experiments.Figure16(o) },
+		"energy":   func() fmt.Stringer { return experiments.EnergyBackup(o) },
+	}
+	order := []string{"table2", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "coupling", "fig15", "fig16", "energy"}
+
+	if *only != "" {
+		f, ok := run[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; choose one of %v\n", *only, order)
+			os.Exit(2)
+		}
+		fmt.Println(f())
+		return
+	}
+	for _, name := range order {
+		fmt.Println(run[name]())
+	}
+}

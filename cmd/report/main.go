@@ -1,0 +1,72 @@
+// Command report runs every experiment in the reproduction — each
+// table and figure of the paper plus the DESIGN.md ablations — and
+// prints their outputs in paper order. Its output is the source for
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	report [-seed N] [-quick]
+//
+// -quick runs the reduced test-sized sweeps (useful to smoke-test the
+// pipeline; the recorded numbers in EXPERIMENTS.md use the full runs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"multinet/internal/experiments"
+)
+
+func main() {
+	seed := flag.Int64("seed", experiments.DefaultSeed, "RNG seed")
+	quick := flag.Bool("quick", false, "reduced sweeps")
+	flag.Parse()
+
+	o := experiments.Options{Seed: *seed}
+	if *quick {
+		o = experiments.Quick()
+		o.Seed = *seed
+	}
+
+	type entry struct {
+		name string
+		run  func() fmt.Stringer
+	}
+	entries := []entry{
+		{"Table 1", func() fmt.Stringer { return experiments.Table1(o) }},
+		{"Figure 3", func() fmt.Stringer { return experiments.Figure3(o) }},
+		{"Figure 4", func() fmt.Stringer { return experiments.Figure4(o) }},
+		{"Table 2", func() fmt.Stringer { return experiments.Table2(o) }},
+		{"Figure 6", func() fmt.Stringer { return experiments.Figure6(o) }},
+		{"Figure 7", func() fmt.Stringer { return experiments.Figure7(o) }},
+		{"Figure 8", func() fmt.Stringer { return experiments.Figure8(o) }},
+		{"Figure 9", func() fmt.Stringer { return experiments.Figure9(o) }},
+		{"Figure 10", func() fmt.Stringer { return experiments.Figure10(o) }},
+		{"Figure 11", func() fmt.Stringer { return experiments.Figure11(o) }},
+		{"Figure 12", func() fmt.Stringer { return experiments.Figure12(o) }},
+		{"Figures 13/14", func() fmt.Stringer { return experiments.Coupling(o) }},
+		{"Figure 15", func() fmt.Stringer { return experiments.Figure15(o) }},
+		{"Figure 16", func() fmt.Stringer { return experiments.Figure16(o) }},
+		{"Section 3.6.2 energy", func() fmt.Stringer { return experiments.EnergyBackup(o) }},
+		{"Figure 17", func() fmt.Stringer { return experiments.Figure17(o) }},
+		{"Figure 18", func() fmt.Stringer { return experiments.Figure18(o) }},
+		{"Figure 19", func() fmt.Stringer { return experiments.Figure19(o) }},
+		{"Figure 20", func() fmt.Stringer { return experiments.Figure20(o) }},
+		{"Figure 21", func() fmt.Stringer { return experiments.Figure21(o) }},
+		{"Ablation: late join", func() fmt.Stringer { return experiments.AblationJoinDelay(o) }},
+		{"Ablation: scheduler", func() fmt.Stringer { return experiments.AblationScheduler(o) }},
+		{"Ablation: tail time", func() fmt.Stringer { return experiments.AblationTailTime(o) }},
+		{"Ablation: selector", func() fmt.Stringer { return experiments.AblationSelector(o) }},
+	}
+
+	total := time.Now()
+	for _, e := range entries {
+		start := time.Now()
+		out := e.run()
+		fmt.Printf("==================== %s (ran in %v) ====================\n%s\n",
+			e.name, time.Since(start).Round(time.Millisecond), out)
+	}
+	fmt.Printf("report complete in %v\n", time.Since(total).Round(time.Millisecond))
+}

@@ -1,0 +1,57 @@
+// Command tracegen exports the synthetic radio models as Mahimahi
+// packet-delivery trace files, so the reproduction's link conditions
+// can be used with a real Mahimahi installation (mm-link), and prints
+// the achieved mean rate.
+//
+// Usage:
+//
+//	tracegen -location 16 -iface wifi -secs 60 > wifi16.trace
+//	tracegen -mbps 8 -variability 0.4 -secs 30 > custom.trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"multinet/internal/mahitrace"
+	"multinet/internal/phy"
+	"multinet/internal/simnet"
+)
+
+func main() {
+	seed := flag.Int64("seed", 2014, "RNG seed")
+	location := flag.Int("location", 0, "paper Table 2 location ID (1-20); 0 = use -mbps")
+	iface := flag.String("iface", "wifi", "which radio of the location: wifi or lte")
+	mbps := flag.Float64("mbps", 8, "mean downlink rate when no location is given")
+	variability := flag.Float64("variability", 0.3, "log-rate stddev when no location is given")
+	secs := flag.Int("secs", 60, "trace duration in seconds")
+	flag.Parse()
+
+	var meanMbps, varb float64
+	switch {
+	case *location > 0:
+		loc := phy.LocationByID(*location)
+		p := loc.WiFi
+		if *iface == "lte" {
+			p = loc.LTE
+		} else if *iface != "wifi" {
+			fmt.Fprintln(os.Stderr, "tracegen: -iface must be wifi or lte")
+			os.Exit(2)
+		}
+		meanMbps, varb = p.DownMbps, p.Variability
+	default:
+		meanMbps, varb = *mbps, *variability
+	}
+
+	sim := simnet.New(*seed)
+	src := phy.NewARRateSource(sim, "tracegen", meanMbps, varb)
+	tr := mahitrace.FromSource(src, time.Duration(*secs)*time.Second)
+	if err := mahitrace.Write(os.Stdout, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: %d opportunities over %ds, mean %.2f Mbit/s\n",
+		len(tr.Opportunities), *secs, tr.MeanMbps())
+}

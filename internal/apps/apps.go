@@ -1,0 +1,226 @@
+// Package apps models the mobile-app traffic patterns of the paper's
+// Section 4: the HTTP connections an app opens on launch or on a user
+// interaction, with sizes, think times and dependencies shaped on the
+// paper's Fig. 17 rasters.
+//
+// The real study recorded CNN, IMDB and Dropbox inside an Android
+// emulator with Mahimahi's RecordShell; those recordings are not
+// published, so each pattern here is a structural model: the number of
+// connections, their relative start times and dependency structure,
+// and the short-flow/long-flow byte mix are taken from the figure.
+// The paper's classification survives the substitution because it only
+// depends on that mix: CNN/IMDB launches are "short-flow dominated",
+// IMDB click (movie trailer) and Dropbox click (PDF download) are
+// "long-flow dominated".
+package apps
+
+import "time"
+
+// Flow is one HTTP connection in an app pattern.
+type Flow struct {
+	// ID is the connection index (the paper's Fig. 17 y-axis).
+	ID int
+	// Start is the connection's open time relative to the interaction
+	// start, or relative to the completion of DependsOn when that is
+	// non-negative.
+	Start time.Duration
+	// DependsOn is the Flow ID whose response must complete before this
+	// flow starts (-1 for none) — the web-style dependency that makes
+	// app response time network-sensitive.
+	DependsOn int
+	// RequestBytes is the HTTP request size.
+	RequestBytes int
+	// ResponseBytes is the HTTP response size.
+	ResponseBytes int
+	// Think is the server-side processing delay before the response.
+	Think time.Duration
+}
+
+// App is one recorded traffic pattern.
+type App struct {
+	// Name identifies the app ("cnn", "imdb", "dropbox").
+	Name string
+	// Interaction is "launch" or "click".
+	Interaction string
+	// Flows is the connection set.
+	Flows []Flow
+}
+
+// LongFlowThreshold classifies a connection as "long" (paper Section
+// 4.2: connections transferring significant data for several seconds).
+const LongFlowThreshold = 500 << 10
+
+// TotalBytes sums request+response bytes over all flows.
+func (a App) TotalBytes() int {
+	n := 0
+	for _, f := range a.Flows {
+		n += f.RequestBytes + f.ResponseBytes
+	}
+	return n
+}
+
+// LongFlowDominated reports whether any single connection moves more
+// than LongFlowThreshold bytes — the paper's two-way classification.
+func (a App) LongFlowDominated() bool {
+	for _, f := range a.Flows {
+		if f.RequestBytes+f.ResponseBytes > LongFlowThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// Label returns "short-flow dominated" or "long-flow dominated".
+func (a App) Label() string {
+	if a.LongFlowDominated() {
+		return "long-flow dominated"
+	}
+	return "short-flow dominated"
+}
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+// CNNLaunch is the paper's short-flow-dominated replay workload
+// (Fig. 17a): ~20 connections, an index page followed by two waves of
+// small resource fetches.
+var CNNLaunch = App{
+	Name: "cnn", Interaction: "launch",
+	Flows: buildWaves(waveSpec{
+		index:      Flow{RequestBytes: 600, ResponseBytes: 40 << 10, Think: ms(60)},
+		firstWave:  9,
+		firstSize:  9 << 10,
+		secondWave: 6,
+		secondSize: 12 << 10,
+		thirdWave:  4,
+		thirdSize:  10 << 10,
+	}),
+}
+
+// CNNClick models a user tapping an article (Fig. 17b): similar to
+// launch with a few more connections.
+var CNNClick = App{
+	Name: "cnn", Interaction: "click",
+	Flows: buildWaves(waveSpec{
+		index:      Flow{RequestBytes: 700, ResponseBytes: 30 << 10, Think: ms(50)},
+		firstWave:  12,
+		firstSize:  8 << 10,
+		secondWave: 7,
+		secondSize: 10 << 10,
+		thirdWave:  5,
+		thirdSize:  9 << 10,
+	}),
+}
+
+// IMDBLaunch (Fig. 17c): ~14 small connections.
+var IMDBLaunch = App{
+	Name: "imdb", Interaction: "launch",
+	Flows: buildWaves(waveSpec{
+		index:      Flow{RequestBytes: 500, ResponseBytes: 35 << 10, Think: ms(70)},
+		firstWave:  7,
+		firstSize:  9 << 10,
+		secondWave: 4,
+		secondSize: 12 << 10,
+		thirdWave:  2,
+		thirdSize:  10 << 10,
+	}),
+}
+
+// IMDBClick (Fig. 17d): the user plays a movie trailer; connection 30
+// downloads the whole trailer in one request — long-flow dominated.
+var IMDBClick = App{
+	Name: "imdb", Interaction: "click",
+	Flows: append(
+		buildWaves(waveSpec{
+			index:      Flow{RequestBytes: 600, ResponseBytes: 50 << 10, Think: ms(60)},
+			firstWave:  24,
+			firstSize:  15 << 10,
+			secondWave: 5,
+			secondSize: 25 << 10,
+		}),
+		Flow{ID: 30, Start: ms(150), DependsOn: 0, RequestBytes: 800,
+			ResponseBytes: 6 << 20, Think: ms(80)}, // the trailer
+	),
+}
+
+// DropboxLaunch (Fig. 17e): a handful of small metadata connections.
+var DropboxLaunch = App{
+	Name: "dropbox", Interaction: "launch",
+	Flows: buildWaves(waveSpec{
+		index:      Flow{RequestBytes: 400, ResponseBytes: 25 << 10, Think: ms(80)},
+		firstWave:  4,
+		firstSize:  12 << 10,
+		secondWave: 0,
+	}),
+}
+
+// DropboxClick is the paper's long-flow-dominated replay workload
+// (Fig. 17f): the user opens a PDF; connection 8 downloads the whole
+// file while a few metadata connections chatter.
+var DropboxClick = App{
+	Name: "dropbox", Interaction: "click",
+	Flows: append(
+		buildWaves(waveSpec{
+			index:      Flow{RequestBytes: 500, ResponseBytes: 20 << 10, Think: ms(70)},
+			firstWave:  7,
+			firstSize:  10 << 10,
+			secondWave: 0,
+		}),
+		Flow{ID: 8, Start: ms(120), DependsOn: 0, RequestBytes: 700,
+			ResponseBytes: 9 << 20, Think: ms(100)}, // the PDF
+	),
+}
+
+// All lists every modelled pattern, in the paper's Fig. 17 order.
+var All = []App{CNNLaunch, CNNClick, IMDBLaunch, IMDBClick, DropboxLaunch, DropboxClick}
+
+// waveSpec parameterises the common launch-pattern shape: an index
+// fetch followed by successive dependent waves of small resource
+// fetches. Web-style pages chain several levels deep, which is what
+// makes short-flow app response times RTT-bound rather than
+// capacity-bound (the regime of the paper's Figs. 18/19).
+type waveSpec struct {
+	index      Flow
+	firstWave  int
+	firstSize  int
+	secondWave int
+	secondSize int
+	thirdWave  int
+	thirdSize  int
+}
+
+func buildWaves(w waveSpec) []Flow {
+	flows := []Flow{{
+		ID: 0, Start: 0, DependsOn: -1,
+		RequestBytes:  w.index.RequestBytes,
+		ResponseBytes: w.index.ResponseBytes,
+		Think:         w.index.Think,
+	}}
+	id := 1
+	wave := func(count, size, dependsOn int) int {
+		lead := id
+		for i := 0; i < count; i++ {
+			flows = append(flows, Flow{
+				ID: id,
+				// Staggered opens, spread as in the paper's Fig. 17
+				// rasters where connections start over several seconds.
+				Start:         ms(40 + 70*i),
+				DependsOn:     dependsOn,
+				RequestBytes:  500,
+				ResponseBytes: size + (i%5)*(size/4),
+				Think:         ms(40 + 10*(i%3)),
+			})
+			id++
+		}
+		return lead
+	}
+	if w.firstWave > 0 {
+		lead1 := wave(w.firstWave, w.firstSize, 0)
+		if w.secondWave > 0 {
+			lead2 := wave(w.secondWave, w.secondSize, lead1)
+			if w.thirdWave > 0 {
+				wave(w.thirdWave, w.thirdSize, lead2)
+			}
+		}
+	}
+	return flows
+}

@@ -1,0 +1,94 @@
+package apps
+
+import "testing"
+
+func TestClassificationMatchesPaper(t *testing.T) {
+	// Paper Section 4.2 / Fig. 17: launches and CNN click are
+	// short-flow dominated; IMDB click and Dropbox click are long-flow
+	// dominated.
+	cases := []struct {
+		app  App
+		long bool
+	}{
+		{CNNLaunch, false},
+		{CNNClick, false},
+		{IMDBLaunch, false},
+		{IMDBClick, true},
+		{DropboxLaunch, false},
+		{DropboxClick, true},
+	}
+	for _, c := range cases {
+		if got := c.app.LongFlowDominated(); got != c.long {
+			t.Errorf("%s %s: LongFlowDominated = %v, want %v",
+				c.app.Name, c.app.Interaction, got, c.long)
+		}
+	}
+}
+
+func TestLabels(t *testing.T) {
+	if CNNLaunch.Label() != "short-flow dominated" {
+		t.Fatal("CNN launch label wrong")
+	}
+	if DropboxClick.Label() != "long-flow dominated" {
+		t.Fatal("Dropbox click label wrong")
+	}
+}
+
+func TestFlowCountsMatchFigure17Scale(t *testing.T) {
+	// Approximate connection counts from the Fig. 17 y-axes.
+	counts := map[string]struct{ min, max int }{
+		"cnn/launch":     {15, 25},
+		"cnn/click":      {20, 30},
+		"imdb/launch":    {10, 18},
+		"imdb/click":     {25, 40},
+		"dropbox/launch": {4, 8},
+		"dropbox/click":  {8, 14},
+	}
+	for _, a := range All {
+		key := a.Name + "/" + a.Interaction
+		want := counts[key]
+		if n := len(a.Flows); n < want.min || n > want.max {
+			t.Errorf("%s: %d flows, want %d-%d", key, n, want.min, want.max)
+		}
+	}
+}
+
+func TestDependenciesAreValid(t *testing.T) {
+	for _, a := range All {
+		ids := map[int]bool{}
+		for _, f := range a.Flows {
+			if ids[f.ID] {
+				t.Fatalf("%s/%s: duplicate flow ID %d", a.Name, a.Interaction, f.ID)
+			}
+			ids[f.ID] = true
+		}
+		for _, f := range a.Flows {
+			if f.DependsOn >= 0 && !ids[f.DependsOn] {
+				t.Fatalf("%s/%s: flow %d depends on missing %d", a.Name, a.Interaction, f.ID, f.DependsOn)
+			}
+			if f.DependsOn == f.ID {
+				t.Fatalf("%s/%s: flow %d depends on itself", a.Name, a.Interaction, f.ID)
+			}
+			if f.RequestBytes <= 0 || f.ResponseBytes <= 0 {
+				t.Fatalf("%s/%s: flow %d has non-positive sizes", a.Name, a.Interaction, f.ID)
+			}
+		}
+	}
+}
+
+func TestFirstFlowIsRoot(t *testing.T) {
+	for _, a := range All {
+		if a.Flows[0].DependsOn != -1 || a.Flows[0].Start != 0 {
+			t.Fatalf("%s/%s: first flow must be the root", a.Name, a.Interaction)
+		}
+	}
+}
+
+func TestShortAppsSmallerThanLongApps(t *testing.T) {
+	if CNNLaunch.TotalBytes() >= DropboxClick.TotalBytes() {
+		t.Fatal("CNN launch should move far fewer bytes than Dropbox click")
+	}
+	if DropboxClick.TotalBytes() < 8<<20 {
+		t.Fatalf("Dropbox click moves %d bytes, want > 8 MB (the PDF)", DropboxClick.TotalBytes())
+	}
+}

@@ -1,0 +1,228 @@
+// Package capture is the simulation's tcpdump: it records packets as
+// they enter and leave interfaces and offers the analyses the paper
+// performs on its traces — average-throughput-over-time curves (paper
+// Figs. 9-10), cumulative-acked-bytes flow sizing (Figs. 11-12), and
+// packet transmission rasters (Fig. 15).
+package capture
+
+import (
+	"fmt"
+	"time"
+
+	"multinet/internal/netem"
+	"multinet/internal/simnet"
+	"multinet/internal/stats"
+	"multinet/internal/tcp"
+)
+
+// Event distinguishes packets entering a link (Send) from packets
+// delivered by it (Recv).
+type Event int
+
+// Event kinds.
+const (
+	Send Event = iota
+	Recv
+)
+
+// String names the event kind.
+func (e Event) String() string {
+	if e == Send {
+		return "send"
+	}
+	return "recv"
+}
+
+// Record is one captured packet observation.
+type Record struct {
+	T          time.Duration
+	Event      Event
+	Iface      string
+	Dir        netem.Direction
+	Size       int
+	Flow       string
+	Flags      tcp.Flags
+	Seq, Ack   uint64
+	PayloadLen int
+	HasOpt     bool
+}
+
+// IsData reports whether the packet carried payload bytes.
+func (r *Record) IsData() bool { return r.PayloadLen > 0 }
+
+// IsPureAck reports whether the packet was a bare acknowledgement.
+func (r *Record) IsPureAck() bool {
+	return r.PayloadLen == 0 && r.Flags.Has(tcp.FlagACK) &&
+		!r.Flags.Has(tcp.FlagSYN) && !r.Flags.Has(tcp.FlagFIN)
+}
+
+// String renders the record tcpdump-style.
+func (r *Record) String() string {
+	return fmt.Sprintf("%12v %s %s/%s %s seq=%d ack=%d len=%d",
+		r.T, r.Event, r.Iface, r.Dir, r.Flags, r.Seq, r.Ack, r.PayloadLen)
+}
+
+// Sniffer collects records from one or more interfaces.
+type Sniffer struct {
+	sim     *simnet.Sim
+	records []Record
+}
+
+// NewSniffer creates an empty sniffer.
+func NewSniffer(sim *simnet.Sim) *Sniffer {
+	return &Sniffer{sim: sim}
+}
+
+// Attach installs taps on the interface for both send and receive
+// events.
+func (s *Sniffer) Attach(iface *netem.Iface) {
+	iface.AddSendTap(func(p *netem.Packet) { s.observe(Send, p) })
+	iface.AddRecvTap(func(p *netem.Packet) { s.observe(Recv, p) })
+}
+
+func (s *Sniffer) observe(ev Event, p *netem.Packet) {
+	rec := Record{
+		T:     s.sim.Now(),
+		Event: ev,
+		Iface: p.Iface,
+		Dir:   p.Dir,
+		Size:  p.Size,
+	}
+	if seg, ok := p.Payload.(*tcp.Segment); ok {
+		rec.Flow = seg.Flow
+		rec.Flags = seg.Flags
+		rec.Seq = seg.Seq
+		rec.Ack = seg.Ack
+		rec.PayloadLen = seg.PayloadLen
+		rec.HasOpt = seg.Opt != nil
+	}
+	s.records = append(s.records, rec)
+}
+
+// Records returns all captured records in time order.
+func (s *Sniffer) Records() []Record { return s.records }
+
+// Len returns the number of captured records.
+func (s *Sniffer) Len() int { return len(s.records) }
+
+// Reset discards captured records.
+func (s *Sniffer) Reset() { s.records = s.records[:0] }
+
+// Filter returns the records matching keep.
+func (s *Sniffer) Filter(keep func(*Record) bool) []Record {
+	var out []Record
+	for i := range s.records {
+		if keep(&s.records[i]) {
+			out = append(out, s.records[i])
+		}
+	}
+	return out
+}
+
+// ByIface returns records observed on the named interface.
+func (s *Sniffer) ByIface(name string) []Record {
+	return s.Filter(func(r *Record) bool { return r.Iface == name })
+}
+
+// ByFlowPrefix returns records whose flow ID starts with prefix
+// (MPTCP subflows share the connection prefix).
+func (s *Sniffer) ByFlowPrefix(prefix string) []Record {
+	return s.Filter(func(r *Record) bool {
+		return len(r.Flow) >= len(prefix) && r.Flow[:len(prefix)] == prefix
+	})
+}
+
+// ThroughputOverTime computes the paper's Fig. 9/10 metric over the
+// given records: at each step, the average throughput in Mbit/s from
+// origin to that instant, counting payload bytes of Recv data events.
+func ThroughputOverTime(records []Record, origin, until time.Duration, step time.Duration) []stats.Point {
+	if step <= 0 {
+		panic("capture: step must be positive")
+	}
+	var pts []stats.Point
+	var bytes int64
+	i := 0
+	for t := origin + step; t <= until; t += step {
+		for i < len(records) && records[i].T <= t {
+			r := &records[i]
+			if r.Event == Recv && r.PayloadLen > 0 {
+				bytes += int64(r.PayloadLen)
+			}
+			i++
+		}
+		elapsed := (t - origin).Seconds()
+		if elapsed > 0 {
+			pts = append(pts, stats.Point{
+				X: (t - origin).Seconds(),
+				Y: float64(bytes) * 8 / elapsed / 1e6,
+			})
+		}
+	}
+	return pts
+}
+
+// AckProgress extracts (time, cumulative acked bytes) points from pure
+// ACKs received for a flow — the paper's flow-size measurement
+// (Section 3.4.2).
+func AckProgress(records []Record, flow string) []stats.Point {
+	var pts []stats.Point
+	var maxAck uint64
+	for i := range records {
+		r := &records[i]
+		if r.Flow != flow || r.Event != Recv || !r.Flags.Has(tcp.FlagACK) {
+			continue
+		}
+		if r.Ack > maxAck {
+			maxAck = r.Ack
+			pts = append(pts, stats.Point{X: r.T.Seconds(), Y: float64(maxAck)})
+		}
+	}
+	return pts
+}
+
+// Raster returns the event instants on an interface — the vertical
+// lines of the paper's Fig. 15 packet-transmission panels.
+func Raster(records []Record, iface string) []time.Duration {
+	var out []time.Duration
+	for i := range records {
+		if records[i].Iface == iface {
+			out = append(out, records[i].T)
+		}
+	}
+	return out
+}
+
+// RasterString renders a raster as a fixed-width ASCII strip ('|' where
+// at least one packet event falls in the bucket), the textual analogue
+// of Fig. 15.
+func RasterString(events []time.Duration, until time.Duration, cols int) string {
+	if cols <= 0 || until <= 0 {
+		return ""
+	}
+	buf := make([]byte, cols)
+	for i := range buf {
+		buf[i] = ' '
+	}
+	for _, t := range events {
+		if t < 0 || t > until {
+			continue
+		}
+		i := int(float64(t) / float64(until) * float64(cols))
+		if i >= cols {
+			i = cols - 1
+		}
+		buf[i] = '|'
+	}
+	return string(buf)
+}
+
+// TotalPayload sums payload bytes over records matching the event kind.
+func TotalPayload(records []Record, ev Event) int64 {
+	var n int64
+	for i := range records {
+		if records[i].Event == ev {
+			n += int64(records[i].PayloadLen)
+		}
+	}
+	return n
+}

@@ -1,0 +1,166 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"multinet/internal/netem"
+	"multinet/internal/simnet"
+	"multinet/internal/tcp"
+)
+
+// buildTransfer runs a server→client download over one interface with a
+// sniffer attached and returns the sniffer.
+func buildTransfer(t *testing.T, size int) (*Sniffer, *simnet.Sim) {
+	t.Helper()
+	sim := simnet.New(9)
+	up := netem.NewFixedLink(sim, 10, netem.LinkConfig{PropDelay: 10 * time.Millisecond})
+	down := netem.NewFixedLink(sim, 10, netem.LinkConfig{PropDelay: 10 * time.Millisecond})
+	iface := netem.NewIface(sim, "wifi", up, down)
+	sn := NewSniffer(sim)
+	sn.Attach(iface)
+	client := tcp.NewStack(sim, tcp.ClientSide)
+	server := tcp.NewStack(sim, tcp.ServerSide)
+	client.Bind(iface)
+	server.Bind(iface)
+	server.Accept = func(c *tcp.Conn) {
+		c.SetCallbacks(tcp.Callbacks{OnEstablished: func(c *tcp.Conn) {
+			c.Send(size)
+			c.Close()
+		}})
+	}
+	client.Dial(iface, "mp-1", tcp.Config{})
+	sim.Run()
+	return sn, sim
+}
+
+func TestSnifferSeesHandshake(t *testing.T) {
+	sn, _ := buildTransfer(t, 10_000)
+	recs := sn.Records()
+	if len(recs) < 6 {
+		t.Fatalf("captured %d records, want at least handshake+data", len(recs))
+	}
+	// First record: SYN sent upward.
+	if !recs[0].Flags.Has(tcp.FlagSYN) || recs[0].Event != Send || recs[0].Dir != netem.Up {
+		t.Fatalf("first record = %+v, want sent SYN up", recs[0])
+	}
+	// A SYN-ACK must appear.
+	sawSynAck := false
+	for i := range recs {
+		if recs[i].Flags.Has(tcp.FlagSYN|tcp.FlagACK) && recs[i].Dir == netem.Down {
+			sawSynAck = true
+		}
+	}
+	if !sawSynAck {
+		t.Fatal("no SYN-ACK captured")
+	}
+}
+
+func TestRecordsTimeOrdered(t *testing.T) {
+	sn, _ := buildTransfer(t, 50_000)
+	recs := sn.Records()
+	for i := 1; i < len(recs); i++ {
+		if recs[i].T < recs[i-1].T {
+			t.Fatalf("records out of order at %d", i)
+		}
+	}
+}
+
+func TestTotalPayloadMatchesTransfer(t *testing.T) {
+	const size = 100_000
+	sn, _ := buildTransfer(t, size)
+	recvd := TotalPayload(sn.Filter(func(r *Record) bool {
+		return r.Dir == netem.Down && r.Event == Recv
+	}), Recv)
+	if recvd < size {
+		t.Fatalf("captured %d payload bytes, want >= %d", recvd, size)
+	}
+}
+
+func TestThroughputOverTimeMonotoneRamp(t *testing.T) {
+	const size = 400_000
+	sn, sim := buildTransfer(t, size)
+	recs := sn.Filter(func(r *Record) bool { return r.Dir == netem.Down })
+	pts := ThroughputOverTime(recs, 0, sim.Now(), 50*time.Millisecond)
+	if len(pts) < 4 {
+		t.Fatalf("too few points: %d", len(pts))
+	}
+	// The curve should start low (slow start) and end near steady state.
+	if pts[0].Y >= pts[len(pts)-1].Y {
+		t.Fatalf("throughput did not ramp: first=%.2f last=%.2f", pts[0].Y, pts[len(pts)-1].Y)
+	}
+	// Average throughput never exceeds the link rate.
+	for _, p := range pts {
+		if p.Y > 10.5 {
+			t.Fatalf("avg throughput %.2f exceeds link rate", p.Y)
+		}
+	}
+}
+
+func TestAckProgressMonotone(t *testing.T) {
+	const size = 200_000
+	sn, _ := buildTransfer(t, size)
+	pts := AckProgress(sn.Records(), "mp-1")
+	if len(pts) == 0 {
+		t.Fatal("no ack progress points")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Y <= pts[i-1].Y {
+			t.Fatal("ack progress not strictly increasing")
+		}
+	}
+	final := pts[len(pts)-1].Y
+	// Final cumulative ack covers data + SYN + FIN.
+	if final < size {
+		t.Fatalf("final acked %v < size %d", final, size)
+	}
+}
+
+func TestByIfaceAndFlowPrefix(t *testing.T) {
+	sn, _ := buildTransfer(t, 10_000)
+	if len(sn.ByIface("wifi")) != sn.Len() {
+		t.Fatal("ByIface(wifi) should match all records")
+	}
+	if len(sn.ByIface("lte")) != 0 {
+		t.Fatal("ByIface(lte) should be empty")
+	}
+	if len(sn.ByFlowPrefix("mp-")) != sn.Len() {
+		t.Fatal("ByFlowPrefix(mp-) should match all records")
+	}
+}
+
+func TestRaster(t *testing.T) {
+	sn, sim := buildTransfer(t, 50_000)
+	events := Raster(sn.Records(), "wifi")
+	if len(events) != sn.Len() {
+		t.Fatalf("raster has %d events, want %d", len(events), sn.Len())
+	}
+	strip := RasterString(events, sim.Now(), 60)
+	if len(strip) != 60 {
+		t.Fatalf("strip length %d, want 60", len(strip))
+	}
+	if !strings.Contains(strip, "|") {
+		t.Fatal("raster strip has no events")
+	}
+}
+
+func TestRasterStringBuckets(t *testing.T) {
+	events := []time.Duration{0, time.Second, 9 * time.Second}
+	strip := RasterString(events, 10*time.Second, 10)
+	want := "||       |"
+	if strip != want {
+		t.Fatalf("strip = %q, want %q", strip, want)
+	}
+}
+
+func TestSnifferReset(t *testing.T) {
+	sn, _ := buildTransfer(t, 10_000)
+	if sn.Len() == 0 {
+		t.Fatal("expected records")
+	}
+	sn.Reset()
+	if sn.Len() != 0 {
+		t.Fatal("reset did not clear records")
+	}
+}

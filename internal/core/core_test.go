@@ -1,0 +1,179 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"multinet/internal/mptcp"
+	"multinet/internal/phy"
+)
+
+func cleanCond(wifiMbps, lteMbps float64) phy.Condition {
+	return phy.Condition{
+		Name: "test",
+		WiFi: phy.PathProfile{DownMbps: wifiMbps, UpMbps: wifiMbps / 2.5, RTTms: 40},
+		LTE:  phy.PathProfile{DownMbps: lteMbps, UpMbps: lteMbps / 2.5, RTTms: 70},
+	}
+}
+
+func TestTCPDownload(t *testing.T) {
+	s := NewSession(1, cleanCond(10, 6))
+	r := s.Run(Config{Transport: TCP, Iface: "wifi"}, Download, 1<<20)
+	if !r.Completed {
+		t.Fatal("download incomplete")
+	}
+	if r.Mbps < 6 || r.Mbps > 10.5 {
+		t.Fatalf("throughput %.2f, want near 10 Mbit/s link rate", r.Mbps)
+	}
+	if r.EstablishedAt <= 0 || r.EstablishedAt > 300*time.Millisecond {
+		t.Fatalf("established at %v, want ~1 RTT", r.EstablishedAt)
+	}
+}
+
+func TestTCPUpload(t *testing.T) {
+	s := NewSession(1, cleanCond(10, 6))
+	r := s.Run(Config{Transport: TCP, Iface: "lte"}, Upload, 500_000)
+	if !r.Completed {
+		t.Fatal("upload incomplete")
+	}
+	// LTE uplink is 6/2.5 = 2.4 Mbit/s.
+	if r.Mbps < 1.4 || r.Mbps > 2.6 {
+		t.Fatalf("upload throughput %.2f, want ~2", r.Mbps)
+	}
+}
+
+func TestMPTCPDownloadAggregates(t *testing.T) {
+	s := NewSession(2, cleanCond(6, 5))
+	r := s.Run(Config{Transport: MPTCP, Primary: "wifi"}, Download, 4<<20)
+	if !r.Completed {
+		t.Fatal("incomplete")
+	}
+	if r.Mbps < 7 {
+		t.Fatalf("MPTCP aggregate %.2f, want > 7 on 6+5 paths", r.Mbps)
+	}
+}
+
+func TestSequentialTransfersSameSession(t *testing.T) {
+	// The paper's measurement run: four sequential transfers.
+	s := NewSession(3, cleanCond(8, 6))
+	cfgs := []Config{
+		{Transport: TCP, Iface: "wifi"},
+		{Transport: TCP, Iface: "lte"},
+		{Transport: MPTCP, Primary: "wifi"},
+		{Transport: MPTCP, Primary: "lte", CC: mptcp.Coupled},
+	}
+	for i, cfg := range cfgs {
+		r := s.Run(cfg, Download, 1<<20)
+		if !r.Completed {
+			t.Fatalf("transfer %d (%s) incomplete", i, cfg.Name())
+		}
+	}
+}
+
+func TestBothDirectionsBothTransports(t *testing.T) {
+	s := NewSession(4, cleanCond(8, 6))
+	for _, tr := range []TransportKind{TCP, MPTCP} {
+		for _, dir := range []Direction{Download, Upload} {
+			cfg := Config{Transport: tr, Iface: "wifi", Primary: "wifi"}
+			if r := s.Run(cfg, dir, 300_000); !r.Completed {
+				t.Fatalf("transport=%v dir=%v incomplete", tr, dir)
+			}
+		}
+	}
+}
+
+func TestConfigNames(t *testing.T) {
+	if got := (Config{Transport: TCP, Iface: "wifi"}).Name(); got != "wifi-TCP" {
+		t.Fatalf("name = %q", got)
+	}
+	got := Config{Transport: MPTCP, Primary: "lte", CC: mptcp.Coupled}.Name()
+	if got != "MPTCP(lte, coupled)" {
+		t.Fatalf("name = %q", got)
+	}
+}
+
+func TestProbeEstimates(t *testing.T) {
+	s := NewSession(5, cleanCond(12, 4))
+	est := s.Probe()
+	if est.WiFiMbps <= est.LTEMbps {
+		t.Fatalf("probe: wifi %.2f <= lte %.2f, but WiFi link is 3x faster", est.WiFiMbps, est.LTEMbps)
+	}
+	if est.Best() != "wifi" {
+		t.Fatalf("Best = %s, want wifi", est.Best())
+	}
+}
+
+func TestSelectorShortFlow(t *testing.T) {
+	sel := Selector{}
+	est := Estimate{WiFiMbps: 3, LTEMbps: 9}
+	cfg := sel.Choose(est, 50_000)
+	if cfg.Transport != TCP || cfg.Iface != "lte" {
+		t.Fatalf("short flow choice = %+v, want LTE-TCP", cfg)
+	}
+}
+
+func TestSelectorLongFlowComparablePaths(t *testing.T) {
+	sel := Selector{}
+	est := Estimate{WiFiMbps: 6, LTEMbps: 5}
+	cfg := sel.Choose(est, 5<<20)
+	if cfg.Transport != MPTCP || cfg.Primary != "wifi" || cfg.CC != mptcp.Decoupled {
+		t.Fatalf("long flow choice = %+v, want MPTCP wifi-primary decoupled", cfg)
+	}
+}
+
+func TestSelectorLongFlowDisparatePaths(t *testing.T) {
+	sel := Selector{}
+	est := Estimate{WiFiMbps: 1, LTEMbps: 10}
+	cfg := sel.Choose(est, 5<<20)
+	if cfg.Transport != TCP || cfg.Iface != "lte" {
+		t.Fatalf("disparate-path choice = %+v, want LTE-TCP (Fig. 7a regime)", cfg)
+	}
+}
+
+func TestSelectorBeatsWorstStaticPolicy(t *testing.T) {
+	// End-to-end sanity for the future-work policy: on an
+	// LTE-much-better condition, the selector's choice for a 1 MB flow
+	// should beat always-WiFi (the Android default).
+	cond := phy.Condition{
+		Name: "ltebetter",
+		WiFi: phy.PathProfile{DownMbps: 1.5, UpMbps: 0.7, RTTms: 90},
+		LTE:  phy.PathProfile{DownMbps: 9, UpMbps: 4, RTTms: 65},
+	}
+	probe := NewSession(6, cond)
+	est := probe.Probe()
+	cfg := Selector{}.Choose(est, 1<<20)
+
+	chosen := NewSession(7, cond).Run(cfg, Download, 1<<20)
+	wifi := NewSession(7, cond).Run(Config{Transport: TCP, Iface: "wifi"}, Download, 1<<20)
+	if !chosen.Completed || !wifi.Completed {
+		t.Fatal("incomplete")
+	}
+	if chosen.FCT >= wifi.FCT {
+		t.Fatalf("selector FCT %v not better than always-WiFi %v", chosen.FCT, wifi.FCT)
+	}
+}
+
+func TestEstimateHelpers(t *testing.T) {
+	e := Estimate{WiFiMbps: 4, LTEMbps: 8}
+	if e.Disparity() != 2 {
+		t.Fatalf("disparity = %v, want 2", e.Disparity())
+	}
+	tie := Estimate{WiFiMbps: 5, LTEMbps: 5, WiFiRTT: 30 * time.Millisecond, LTERTT: 60 * time.Millisecond}
+	if tie.Best() != "wifi" {
+		t.Fatal("tie should prefer lower RTT (wifi)")
+	}
+	zero := Estimate{WiFiMbps: 0, LTEMbps: 5}
+	if zero.Disparity() < 1e6 {
+		t.Fatal("zero estimate should give infinite disparity")
+	}
+}
+
+func TestDeterministicSession(t *testing.T) {
+	run := func() time.Duration {
+		s := NewSession(9, cleanCond(7, 5))
+		return s.Run(Config{Transport: MPTCP, Primary: "lte"}, Download, 1<<20).FCT
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a, b)
+	}
+}

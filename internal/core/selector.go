@@ -1,0 +1,113 @@
+package core
+
+import (
+	"time"
+
+	"multinet/internal/mptcp"
+)
+
+// Estimate summarises the current per-network conditions, as a
+// lightweight probe or history would report them.
+type Estimate struct {
+	WiFiMbps, LTEMbps float64
+	WiFiRTT, LTERTT   time.Duration
+}
+
+// Best returns the interface name with the higher estimated throughput
+// (ties broken by lower RTT).
+func (e Estimate) Best() string {
+	if e.WiFiMbps > e.LTEMbps {
+		return "wifi"
+	}
+	if e.LTEMbps > e.WiFiMbps {
+		return "lte"
+	}
+	if e.WiFiRTT <= e.LTERTT {
+		return "wifi"
+	}
+	return "lte"
+}
+
+// Disparity returns max/min of the two throughput estimates.
+func (e Estimate) Disparity() float64 {
+	lo, hi := e.WiFiMbps, e.LTEMbps
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if lo <= 0 {
+		return 1e9
+	}
+	return hi / lo
+}
+
+// Selector is the adaptive policy the paper's conclusion calls for,
+// assembled from its empirical findings:
+//
+//   - Short flows gain nothing from MPTCP (Figs. 7, 18/19): use
+//     single-path TCP on the better network.
+//   - With a large rate disparity between the paths, MPTCP underper-
+//     forms the better single path at every size (Fig. 7a): stay
+//     single-path.
+//   - Otherwise, long flows benefit from MPTCP with the primary on the
+//     better network (Fig. 8) and decoupled congestion control, which
+//     outruns coupled on long flows (Figs. 13/14).
+type Selector struct {
+	// ShortFlowBytes is the flow size below which single-path TCP is
+	// always chosen (default 200 KB — between the paper's 100 KB
+	// "short" and 1 MB "long" sizes).
+	ShortFlowBytes int
+	// MaxDisparity is the largest path-rate ratio at which MPTCP is
+	// still worthwhile (default 4, from the Fig. 7a regime).
+	MaxDisparity float64
+	// PreferCoupled selects coupled CC for long flows (fairness over
+	// raw throughput); default false per Figs. 13/14.
+	PreferCoupled bool
+}
+
+func (s Selector) shortFlowBytes() int {
+	if s.ShortFlowBytes > 0 {
+		return s.ShortFlowBytes
+	}
+	return 200 << 10
+}
+
+func (s Selector) maxDisparity() float64 {
+	if s.MaxDisparity > 0 {
+		return s.MaxDisparity
+	}
+	return 4
+}
+
+// Choose returns the transfer configuration for a flow of the given
+// size under the estimated conditions.
+func (s Selector) Choose(e Estimate, flowBytes int) Config {
+	best := e.Best()
+	if flowBytes <= s.shortFlowBytes() || e.Disparity() > s.maxDisparity() {
+		return Config{Transport: TCP, Iface: best}
+	}
+	cc := mptcp.Decoupled
+	if s.PreferCoupled {
+		cc = mptcp.Coupled
+	}
+	return Config{Transport: MPTCP, Primary: best, CC: cc}
+}
+
+// ProbeSize is the transfer used per network by Session.Probe.
+const ProbeSize = 256 << 10
+
+// Probe measures both networks with a ProbeSize download each and
+// returns the resulting estimate. It advances the session clock.
+func (s *Session) Probe() Estimate {
+	wifi := s.Run(Config{Transport: TCP, Iface: "wifi"}, Download, ProbeSize)
+	lte := s.Run(Config{Transport: TCP, Iface: "lte"}, Download, ProbeSize)
+	est := Estimate{}
+	if wifi.Completed {
+		est.WiFiMbps = wifi.Mbps
+		est.WiFiRTT = wifi.EstablishedAt // handshake ≈ 1 RTT
+	}
+	if lte.Completed {
+		est.LTEMbps = lte.Mbps
+		est.LTERTT = lte.EstablishedAt
+	}
+	return est
+}

@@ -1,0 +1,183 @@
+package energy
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"multinet/internal/simnet"
+)
+
+func TestStateProgression(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	if m.State() != Idle {
+		t.Fatal("meter should start idle")
+	}
+	m.OnPacket()
+	if m.State() != Active {
+		t.Fatal("packet should promote to active")
+	}
+	// After ActiveHold the radio demotes to tail; after TailDuration to
+	// idle.
+	sim.RunUntil(200 * time.Millisecond)
+	if m.State() != Tail {
+		t.Fatalf("state at 200ms = %v, want tail", m.State())
+	}
+	sim.RunUntil(16 * time.Second)
+	if m.State() != Idle {
+		t.Fatalf("state at 16s = %v, want idle", m.State())
+	}
+}
+
+func TestActivityExtendsActive(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	// A packet every 50 ms keeps the radio active (hold is 100 ms).
+	for i := 0; i <= 20; i++ {
+		sim.Schedule(time.Duration(i)*50*time.Millisecond, m.OnPacket)
+	}
+	sim.RunUntil(time.Second)
+	if m.State() != Active {
+		t.Fatalf("state = %v, want active under continuous traffic", m.State())
+	}
+}
+
+func TestLTETailEnergyDominatesShortTransfer(t *testing.T) {
+	// A short burst: tail energy (15 s x 1 W) dwarfs active energy —
+	// the paper's Section 3.6 core observation.
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	for i := 0; i < 10; i++ {
+		sim.Schedule(time.Duration(i)*10*time.Millisecond, m.OnPacket)
+	}
+	sim.RunUntil(20 * time.Second)
+	j := m.RadioJoules()
+	// Active: ~0.19 s x 2.2 W ~ 0.42 J. Tail: 15 s x 1 W = 15 J.
+	if j < 14 || j > 17 {
+		t.Fatalf("radio energy %.2f J, want ~15.4 (tail-dominated)", j)
+	}
+}
+
+func TestWiFiTailNegligible(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, WiFi)
+	m.OnPacket()
+	sim.RunUntil(20 * time.Second)
+	j := m.RadioJoules()
+	// Active 0.1 s x 0.8 + tail 0.2 s x 0.2 = 0.12 J.
+	if j > 0.5 {
+		t.Fatalf("WiFi radio energy %.3f J, want < 0.5 (no meaningful tail)", j)
+	}
+}
+
+func TestPowerAtMatchesPaperLevels(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	m.OnPacket()
+	sim.RunUntil(50 * time.Millisecond)
+	if p := m.PowerAt(20 * time.Millisecond); math.Abs(p-3.2) > 1e-9 {
+		t.Fatalf("active LTE power = %.2f W, want 3.2 (paper Fig. 16a)", p)
+	}
+	sim.RunUntil(5 * time.Second)
+	if p := m.PowerAt(2 * time.Second); math.Abs(p-2.0) > 1e-9 {
+		t.Fatalf("tail LTE power = %.2f W, want 2.0", p)
+	}
+	sim.RunUntil(30 * time.Second)
+	if p := m.PowerAt(29 * time.Second); math.Abs(p-1.0) > 1e-9 {
+		t.Fatalf("idle power = %.2f W, want 1.0 (base)", p)
+	}
+}
+
+func TestEnergyIntegralManual(t *testing.T) {
+	// One packet at t=0: active for 0.1 s (2.2 W), tail 15 s (1 W),
+	// then idle. At t=20 s: 0.22 + 15 = 15.22 J radio energy.
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	m.OnPacket()
+	sim.RunUntil(20 * time.Second)
+	want := LTE.ActiveWatts*LTE.ActiveHold.Seconds() + LTE.TailWatts*LTE.TailDuration.Seconds()
+	if got := m.RadioJoules(); math.Abs(got-want) > 0.01 {
+		t.Fatalf("radio energy %.3f J, want %.3f", got, want)
+	}
+	wantTotal := want + BaseWatts*20
+	if got := m.TotalJoules(); math.Abs(got-wantTotal) > 0.01 {
+		t.Fatalf("total energy %.3f J, want %.3f", got, wantTotal)
+	}
+}
+
+func TestTraceStringShape(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, LTE)
+	m.OnPacket()
+	sim.RunUntil(30 * time.Second)
+	// 300 columns over 30 s: the first bucket midpoint (50 ms) falls in
+	// the 100 ms active period.
+	s := m.TraceString(30*time.Second, 300)
+	if !strings.HasPrefix(s, "#") {
+		t.Fatalf("trace should start active, got %q...", s[:10])
+	}
+	if !strings.Contains(s, "~") {
+		t.Fatal("trace should contain a tail")
+	}
+	if !strings.HasSuffix(s, ".") {
+		t.Fatal("trace should end idle")
+	}
+}
+
+func TestMultipleBurstsSeparateTails(t *testing.T) {
+	sim := simnet.New(1)
+	m := NewMeter(sim, WiFi)
+	m.OnPacket()
+	sim.RunUntil(5 * time.Second) // back to idle
+	if m.State() != Idle {
+		t.Fatal("should be idle between bursts")
+	}
+	sim.Schedule(5*time.Second, m.OnPacket)
+	sim.RunUntil(5050 * time.Millisecond) // before the 100 ms hold expires
+	if m.State() != Active {
+		t.Fatal("second burst should re-activate")
+	}
+	// Trace: idle->active->tail->idle->active...
+	tr := m.Trace()
+	if len(tr) < 5 {
+		t.Fatalf("trace has %d steps, want >= 5", len(tr))
+	}
+}
+
+func TestBackupModeEnergyParadox(t *testing.T) {
+	// The paper's Section 3.6 punchline, in miniature: an LTE radio
+	// that carries ONLY a SYN at t=0 and a FIN at t=flowEnd still burns
+	// nearly as much energy as one actively transferring, for flows
+	// shorter than the 15 s tail.
+	flowDur := 10 * time.Second
+	horizon := flowDur + 16*time.Second
+
+	// Backup: SYN + FIN only.
+	simA := simnet.New(1)
+	backup := NewMeter(simA, LTE)
+	backup.OnPacket()
+	simA.Schedule(flowDur, backup.OnPacket)
+	simA.RunUntil(horizon)
+
+	// Active: a packet every 20 ms for the whole flow.
+	simB := simnet.New(1)
+	active := NewMeter(simB, LTE)
+	for tm := time.Duration(0); tm <= flowDur; tm += 20 * time.Millisecond {
+		tmCopy := tm
+		simB.Schedule(tmCopy, active.OnPacket)
+	}
+	simB.RunUntil(horizon)
+
+	eBackup, eActive := backup.RadioJoules(), active.RadioJoules()
+	if eBackup >= eActive {
+		t.Fatalf("backup %.1f J >= active %.1f J", eBackup, eActive)
+	}
+	saving := 1 - eBackup/eActive
+	// For a 10 s flow the saving must be small (< 40%), because the
+	// SYN tail bridges into the FIN tail.
+	if saving > 0.4 {
+		t.Fatalf("backup saving %.0f%%, want < 40%% for sub-15s flows", saving*100)
+	}
+}

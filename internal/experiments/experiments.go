@@ -1,0 +1,103 @@
+// Package experiments contains one harness per table and figure of the
+// paper's evaluation. Each function returns a structured result whose
+// String method renders the same rows or series the paper reports;
+// cmd/report and the repository-root benchmarks call these functions,
+// and EXPERIMENTS.md records paper-vs-measured for each.
+//
+// Every harness takes an Options value so tests can run reduced
+// versions (fewer seeds, fewer locations) of the exact same code the
+// full report runs.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// DefaultSeed is the base seed for all experiments; per-run seeds
+// derive from it deterministically.
+const DefaultSeed = 2014
+
+// Options scales an experiment.
+type Options struct {
+	// Seed is the base RNG seed (DefaultSeed when zero).
+	Seed int64
+	// Trials is the number of repetitions per measurement point
+	// (harness-specific default when zero).
+	Trials int
+	// Locations restricts location-sweep experiments to the first N
+	// of the paper's 20 sites (all when zero).
+	Locations int
+}
+
+func (o Options) seed() int64 {
+	if o.Seed == 0 {
+		return DefaultSeed
+	}
+	return o.Seed
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+func (o Options) locations(max int) int {
+	if o.Locations > 0 && o.Locations < max {
+		return o.Locations
+	}
+	return max
+}
+
+// Full returns the options used by cmd/report and the benches.
+func Full() Options { return Options{} }
+
+// Quick returns reduced options for unit tests.
+func Quick() Options { return Options{Trials: 1, Locations: 4} }
+
+// seedFor derives a per-measurement seed.
+func seedFor(base int64, parts ...int) int64 {
+	s := base
+	for _, p := range parts {
+		s = s*1000003 + int64(p) + 7919
+	}
+	return s
+}
+
+// fmtDur renders a duration with millisecond precision.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}
+
+// table renders rows with a header as aligned text.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(header)
+	for _, r := range rows {
+		line(r)
+	}
+	return b.String()
+}

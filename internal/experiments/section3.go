@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"multinet/internal/capture"
+	"multinet/internal/core"
+	"multinet/internal/dataset"
+	"multinet/internal/mptcp"
+	"multinet/internal/netem"
+	"multinet/internal/phy"
+	"multinet/internal/simnet"
+	"multinet/internal/stats"
+)
+
+// Table2Result is the 20-location table.
+type Table2Result struct{ Locations []phy.Location }
+
+// Table2 returns the measurement-site table (paper Table 2) together
+// with the calibrated radio profiles used throughout Section 3.
+func Table2(Options) Table2Result { return Table2Result{Locations: phy.Locations} }
+
+// String renders the table with the calibration columns appended.
+func (r Table2Result) String() string {
+	rows := make([][]string, 0, len(r.Locations))
+	for _, l := range r.Locations {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", l.ID), l.City, l.Desc,
+			fmt.Sprintf("%.1f/%.1f", l.WiFi.DownMbps, l.WiFi.UpMbps),
+			fmt.Sprintf("%.1f/%.1f", l.LTE.DownMbps, l.LTE.UpMbps),
+			fmt.Sprintf("%.0f", l.WiFi.RTTms),
+			fmt.Sprintf("%.0f", l.LTE.RTTms),
+		})
+	}
+	return "Table 2: MPTCP measurement locations (with calibrated profiles)\n" +
+		table([]string{"ID", "City", "Description", "WiFi D/U Mbps", "LTE D/U Mbps", "WiFi RTT", "LTE RTT"}, rows)
+}
+
+// standardConfigs returns the six Section 3 transfer configurations in
+// the paper's legend order.
+func standardConfigs() []core.Config {
+	return []core.Config{
+		{Transport: core.TCP, Iface: "lte"},
+		{Transport: core.TCP, Iface: "wifi"},
+		{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Decoupled},
+		{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Decoupled},
+		{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Coupled},
+		{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Coupled},
+	}
+}
+
+// measureMbps runs trials sequential fresh-session downloads and
+// returns the mean throughput.
+func measureMbps(seed int64, cond phy.Condition, cfg core.Config, dir core.Direction, size, trials int) float64 {
+	sum, n := 0.0, 0
+	for t := 0; t < trials; t++ {
+		s := core.NewSession(seedFor(seed, t), cond)
+		if m := s.RunMbps(cfg, dir, size); m > 0 {
+			sum += m
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Figure6Result compares the 20-location single-path TCP measurements
+// against the crowd-sourced campaign distribution.
+type Figure6Result struct {
+	AppUp, AppDown             CDFSeries
+	TwentyUp, TwentyDown       CDFSeries
+	MedianGapUp, MedianGapDown float64 // |median difference| in Mbit/s
+}
+
+// Figure6 measures 1 MB TCP transfers (both networks, both directions)
+// at each location and compares the difference CDF with Figure 3's.
+func Figure6(o Options) Figure6Result {
+	camp := dataset.Generate(simnet.New(o.seed()))
+	appUp, appDown := camp.DiffCDFs()
+
+	var up, down []float64
+	trials := o.trials(2)
+	n := o.locations(len(phy.Locations))
+	for i := 0; i < n; i++ {
+		loc := phy.Locations[i]
+		for t := 0; t < trials; t++ {
+			s := core.NewSession(seedFor(o.seed(), loc.ID, t), loc.Condition())
+			wifiDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, 1<<20)
+			wifiUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Upload, 1<<20)
+			lteDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Download, 1<<20)
+			lteUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Upload, 1<<20)
+			if wifiDown > 0 && lteDown > 0 {
+				down = append(down, wifiDown-lteDown)
+			}
+			if wifiUp > 0 && lteUp > 0 {
+				up = append(up, wifiUp-lteUp)
+			}
+		}
+	}
+	upCDF, downCDF := stats.NewECDF(up), stats.NewECDF(down)
+	abs := func(x float64) float64 {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	return Figure6Result{
+		AppUp:         sampleCDF(appUp, "App Data uplink", 30),
+		AppDown:       sampleCDF(appDown, "App Data downlink", 30),
+		TwentyUp:      sampleCDF(upCDF, "20-Location uplink", 30),
+		TwentyDown:    sampleCDF(downCDF, "20-Location downlink", 30),
+		MedianGapUp:   abs(upCDF.Median() - appUp.Median()),
+		MedianGapDown: abs(downCDF.Median() - appDown.Median()),
+	}
+}
+
+// String renders the comparison.
+func (r Figure6Result) String() string {
+	return fmt.Sprintf("Figure 6: 20-location TCP CDFs vs campaign CDFs\n"+
+		"median gap: uplink %.2f Mbit/s, downlink %.2f Mbit/s (paper: curves are close)\n",
+		r.MedianGapUp, r.MedianGapDown) +
+		renderCDF(r.AppUp, "%8.2f") + renderCDF(r.TwentyUp, "%8.2f") +
+		renderCDF(r.AppDown, "%8.2f") + renderCDF(r.TwentyDown, "%8.2f")
+}
+
+// Figure7Series is one config's throughput-vs-flow-size curve.
+type Figure7Series struct {
+	Config string
+	// KB are the flow sizes; Mbps the mean measured throughputs.
+	KB   []int
+	Mbps []float64
+}
+
+// Figure7Result holds both representative locations' curves.
+type Figure7Result struct {
+	LocationA int // large disparity: MPTCP worse everywhere (Fig. 7a)
+	LocationB int // comparable paths: MPTCP wins at large sizes (7b)
+	SeriesA   []Figure7Series
+	SeriesB   []Figure7Series
+}
+
+var figure7Sizes = []int{1, 10, 100, 1000} // KB, the paper's log x-axis
+
+// Figure7 sweeps flow size for the six configurations at the two
+// representative locations.
+func Figure7(o Options) Figure7Result {
+	run := func(loc phy.Location) []Figure7Series {
+		var out []Figure7Series
+		for ci, cfg := range standardConfigs() {
+			s := Figure7Series{Config: cfg.Name()}
+			for _, kb := range figure7Sizes {
+				m := measureMbps(seedFor(o.seed(), loc.ID, ci, kb), loc.Condition(),
+					cfg, core.Download, kb<<10, o.trials(3))
+				s.KB = append(s.KB, kb)
+				s.Mbps = append(s.Mbps, m)
+			}
+			out = append(out, s)
+		}
+		return out
+	}
+	return Figure7Result{
+		LocationA: phy.LocLTEMuchBetter.ID,
+		LocationB: phy.LocWiFiBetter.ID,
+		SeriesA:   run(phy.LocLTEMuchBetter),
+		SeriesB:   run(phy.LocWiFiBetter),
+	}
+}
+
+// String renders both panels.
+func (r Figure7Result) String() string {
+	panel := func(name string, loc int, series []Figure7Series) string {
+		header := []string{"Config \\ KB"}
+		for _, kb := range figure7Sizes {
+			header = append(header, fmt.Sprintf("%d", kb))
+		}
+		var rows [][]string
+		for _, s := range series {
+			row := []string{s.Config}
+			for _, m := range s.Mbps {
+				row = append(row, fmt.Sprintf("%.2f", m))
+			}
+			rows = append(rows, row)
+		}
+		return fmt.Sprintf("Figure 7%s (location %d): throughput (Mbit/s) vs flow size\n", name, loc) +
+			table(header, rows)
+	}
+	return panel("a", r.LocationA, r.SeriesA) + panel("b", r.LocationB, r.SeriesB)
+}
+
+// Figure8Result holds the primary-subflow sensitivity CDFs.
+type Figure8Result struct {
+	// MedianPct maps flow size label to the median relative difference
+	// in percent (paper: 10KB 60%, 100KB 49%, 1MB 28%).
+	MedianPct map[string]float64
+	CDFs      []CDFSeries
+}
+
+var figure8Sizes = []struct {
+	label string
+	bytes int
+}{
+	{"10KB", 10 << 10},
+	{"100KB", 100 << 10},
+	{"1MB", 1 << 20},
+}
+
+// Figure8 measures |MPTCP_LTE - MPTCP_WiFi| / MPTCP_WiFi with
+// decoupled congestion control across locations and flow sizes.
+func Figure8(o Options) Figure8Result {
+	res := Figure8Result{MedianPct: map[string]float64{}}
+	n := o.locations(len(phy.Locations))
+	trials := o.trials(2)
+	for _, sz := range figure8Sizes {
+		var rel []float64
+		for i := 0; i < n; i++ {
+			loc := phy.Locations[i]
+			for t := 0; t < trials; t++ {
+				seed := seedFor(o.seed(), loc.ID, sz.bytes, t)
+				lte := measureMbps(seed, loc.Condition(),
+					core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, sz.bytes, 1)
+				wifi := measureMbps(seed+1, loc.Condition(),
+					core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, sz.bytes, 1)
+				if lte <= 0 || wifi <= 0 {
+					continue
+				}
+				d := (lte - wifi) / wifi
+				if d < 0 {
+					d = -d
+				}
+				rel = append(rel, d*100)
+			}
+		}
+		cdf := stats.NewECDF(rel)
+		res.MedianPct[sz.label] = cdf.Median()
+		res.CDFs = append(res.CDFs, sampleCDF(cdf, sz.label+" relative difference (%)", 25))
+	}
+	return res
+}
+
+// String renders medians plus CDFs.
+func (r Figure8Result) String() string {
+	s := fmt.Sprintf("Figure 8: CDF of relative difference MPTCP_LTE vs MPTCP_WiFi (decoupled)\n"+
+		"medians: 10KB %.0f%% (paper 60%%), 100KB %.0f%% (paper 49%%), 1MB %.0f%% (paper 28%%)\n",
+		r.MedianPct["10KB"], r.MedianPct["100KB"], r.MedianPct["1MB"])
+	for _, c := range r.CDFs {
+		s += renderCDF(c, "%8.1f")
+	}
+	return s
+}
+
+// EvolutionResult holds a Fig. 9/10 panel: average throughput over
+// time for the MPTCP connection and each subflow.
+type EvolutionResult struct {
+	Location int
+	Primary  string
+	MPTCP    []stats.Point
+	WiFi     []stats.Point
+	LTE      []stats.Point
+	// FinalMbps is the 2-second average MPTCP throughput.
+	FinalMbps float64
+}
+
+// evolution runs one 2-second MPTCP download with a sniffer attached
+// and extracts the cumulative-average throughput curves.
+func evolution(seed int64, loc phy.Location, primary string) EvolutionResult {
+	s := core.NewSession(seed, loc.Condition())
+	sn := capture.NewSniffer(s.Sim)
+	for _, ifc := range s.Host.Ifaces() {
+		sn.Attach(ifc)
+	}
+	s.Horizon = 30 * time.Second
+	// Large enough not to finish within the 2 s window.
+	s.Run(core.Config{Transport: core.MPTCP, Primary: primary}, core.Download, 8<<20)
+
+	const window = 2 * time.Second
+	const step = 100 * time.Millisecond
+	down := func(iface string) []capture.Record {
+		return sn.Filter(func(r *capture.Record) bool {
+			return r.Dir == netem.Down && r.Event == capture.Recv &&
+				(iface == "" || r.Iface == iface)
+		})
+	}
+	res := EvolutionResult{Location: loc.ID, Primary: primary}
+	res.MPTCP = capture.ThroughputOverTime(down(""), 0, window, step)
+	res.WiFi = capture.ThroughputOverTime(down("wifi"), 0, window, step)
+	res.LTE = capture.ThroughputOverTime(down("lte"), 0, window, step)
+	if n := len(res.MPTCP); n > 0 {
+		res.FinalMbps = res.MPTCP[n-1].Y
+	}
+	return res
+}
+
+// Figure9Result pairs the two panels of Fig. 9 (LTE-better location).
+type Figure9Result struct{ WiFiPrimary, LTEPrimary EvolutionResult }
+
+// Figure9 runs the throughput-evolution experiment at the LTE-better
+// location with both primary choices.
+func Figure9(o Options) Figure9Result {
+	loc := phy.LocLTEMuchBetter
+	return Figure9Result{
+		WiFiPrimary: evolution(seedFor(o.seed(), 9, 1), loc, "wifi"),
+		LTEPrimary:  evolution(seedFor(o.seed(), 9, 2), loc, "lte"),
+	}
+}
+
+// Figure10Result pairs the two panels of Fig. 10 (WiFi-better site).
+type Figure10Result struct{ WiFiPrimary, LTEPrimary EvolutionResult }
+
+// Figure10 is Figure9 at the WiFi-better location.
+func Figure10(o Options) Figure10Result {
+	loc := phy.LocWiFiBetter
+	return Figure10Result{
+		WiFiPrimary: evolution(seedFor(o.seed(), 10, 1), loc, "wifi"),
+		LTEPrimary:  evolution(seedFor(o.seed(), 10, 2), loc, "lte"),
+	}
+}
+
+func renderEvolution(title string, e EvolutionResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (location %d, %s primary): avg tput to t, final %.2f Mbit/s\n",
+		title, e.Location, e.Primary, e.FinalMbps)
+	b.WriteString("  t(s)   MPTCP   WiFi    LTE\n")
+	for i := range e.MPTCP {
+		w, l := 0.0, 0.0
+		if i < len(e.WiFi) {
+			w = e.WiFi[i].Y
+		}
+		if i < len(e.LTE) {
+			l = e.LTE[i].Y
+		}
+		fmt.Fprintf(&b, "  %4.1f  %6.2f  %6.2f  %6.2f\n", e.MPTCP[i].X, e.MPTCP[i].Y, w, l)
+	}
+	return b.String()
+}
+
+// String renders both panels.
+func (r Figure9Result) String() string {
+	return renderEvolution("Figure 9a", r.WiFiPrimary) + renderEvolution("Figure 9b", r.LTEPrimary)
+}
+
+// String renders both panels.
+func (r Figure10Result) String() string {
+	return renderEvolution("Figure 10a", r.WiFiPrimary) + renderEvolution("Figure 10b", r.LTEPrimary)
+}
+
+// FlowSizeSweepResult holds a Fig. 11/12 panel pair: absolute
+// throughput and the LTE/WiFi-primary ratio versus flow size.
+type FlowSizeSweepResult struct {
+	Location int
+	KB       []int
+	LTEMbps  []float64
+	WiFiMbps []float64
+	Ratio    []float64
+}
+
+func flowSizeSweep(o Options, loc phy.Location, tag int) FlowSizeSweepResult {
+	res := FlowSizeSweepResult{Location: loc.ID}
+	trials := o.trials(3)
+	for kb := 100; kb <= 1000; kb += 150 {
+		lte := measureMbps(seedFor(o.seed(), tag, loc.ID, kb, 0), loc.Condition(),
+			core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, kb<<10, trials)
+		wifi := measureMbps(seedFor(o.seed(), tag, loc.ID, kb, 1), loc.Condition(),
+			core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, kb<<10, trials)
+		res.KB = append(res.KB, kb)
+		res.LTEMbps = append(res.LTEMbps, lte)
+		res.WiFiMbps = append(res.WiFiMbps, wifi)
+		if wifi > 0 {
+			res.Ratio = append(res.Ratio, lte/wifi)
+		} else {
+			res.Ratio = append(res.Ratio, 0)
+		}
+	}
+	return res
+}
+
+// Figure11 sweeps flow size at the LTE-better location.
+func Figure11(o Options) FlowSizeSweepResult { return flowSizeSweep(o, phy.LocLTEMuchBetter, 11) }
+
+// Figure12 sweeps flow size at the WiFi-better location.
+func Figure12(o Options) FlowSizeSweepResult { return flowSizeSweep(o, phy.LocWiFiBetter, 12) }
+
+// String renders the sweep.
+func (r FlowSizeSweepResult) String() string {
+	var rows [][]string
+	for i, kb := range r.KB {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", kb),
+			fmt.Sprintf("%.2f", r.LTEMbps[i]),
+			fmt.Sprintf("%.2f", r.WiFiMbps[i]),
+			fmt.Sprintf("%.2f", r.Ratio[i]),
+		})
+	}
+	return fmt.Sprintf("Figures 11/12 (location %d): MPTCP throughput vs flow size\n", r.Location) +
+		table([]string{"KB", "MPTCP(LTE) Mbps", "MPTCP(WiFi) Mbps", "ratio LTE/WiFi"}, rows)
+}
+
+// CouplingResult holds the Fig. 13 + Fig. 14 data: relative difference
+// CDFs for the congestion-control choice ("CC") and the
+// primary-network choice ("Network"), per flow size.
+type CouplingResult struct {
+	// CCMedianPct / NetworkMedianPct per size label
+	// (paper CC: 16/16/34; Network: 60/43/25).
+	CCMedianPct      map[string]float64
+	NetworkMedianPct map[string]float64
+	CCCDFs           []CDFSeries
+	NetworkCDFs      []CDFSeries
+}
+
+// Coupling measures the four MPTCP configurations at the paper's 7
+// coupling-study sites, both directions, and computes the paired
+// relative differences of Section 3.5.
+func Coupling(o Options) CouplingResult {
+	res := CouplingResult{
+		CCMedianPct:      map[string]float64{},
+		NetworkMedianPct: map[string]float64{},
+	}
+	locIDs := phy.CouplingStudyLocations
+	if n := o.locations(len(locIDs)); n < len(locIDs) {
+		locIDs = locIDs[:n]
+	}
+	trials := o.trials(3)
+	reldiff := func(a, b float64) (float64, bool) {
+		if a <= 0 || b <= 0 {
+			return 0, false
+		}
+		d := (a - b) / b
+		if d < 0 {
+			d = -d
+		}
+		return d * 100, true
+	}
+	for _, sz := range figure8Sizes {
+		var ccSamples, netSamples []float64
+		for _, id := range locIDs {
+			loc := phy.LocationByID(id)
+			for _, dir := range []core.Direction{core.Download, core.Upload} {
+				for t := 0; t < trials; t++ {
+					seed := seedFor(o.seed(), 1314, id, sz.bytes, int(dir), t)
+					m := map[string]float64{}
+					for ci, cfg := range []core.Config{
+						{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Coupled},
+						{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Decoupled},
+						{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Coupled},
+						{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Decoupled},
+					} {
+						s := core.NewSession(seedFor(seed, ci), loc.Condition())
+						m[cfg.Primary+"/"+cfg.CC.String()] = s.RunMbps(cfg, dir, sz.bytes)
+					}
+					// rcwnd: same primary, different CC.
+					if d, ok := reldiff(m["lte/decoupled"], m["lte/coupled"]); ok {
+						ccSamples = append(ccSamples, d)
+					}
+					if d, ok := reldiff(m["wifi/decoupled"], m["wifi/coupled"]); ok {
+						ccSamples = append(ccSamples, d)
+					}
+					// rnetwork: same CC, different primary.
+					if d, ok := reldiff(m["lte/coupled"], m["wifi/coupled"]); ok {
+						netSamples = append(netSamples, d)
+					}
+					if d, ok := reldiff(m["lte/decoupled"], m["wifi/decoupled"]); ok {
+						netSamples = append(netSamples, d)
+					}
+				}
+			}
+		}
+		cc, net := stats.NewECDF(ccSamples), stats.NewECDF(netSamples)
+		res.CCMedianPct[sz.label] = cc.Median()
+		res.NetworkMedianPct[sz.label] = net.Median()
+		res.CCCDFs = append(res.CCCDFs, sampleCDF(cc, sz.label+" CC", 25))
+		res.NetworkCDFs = append(res.NetworkCDFs, sampleCDF(net, sz.label+" Network", 25))
+	}
+	return res
+}
+
+// String renders the medians table plus CDF data.
+func (r CouplingResult) String() string {
+	var rows [][]string
+	for _, sz := range figure8Sizes {
+		rows = append(rows, []string{
+			sz.label,
+			fmt.Sprintf("%.0f%%", r.CCMedianPct[sz.label]),
+			fmt.Sprintf("%.0f%%", r.NetworkMedianPct[sz.label]),
+		})
+	}
+	s := "Figures 13/14: relative difference medians (paper CC: 16/16/34%, Network: 60/43/25%)\n" +
+		table([]string{"Flow size", "CC median", "Network median"}, rows)
+	for i := range r.CCCDFs {
+		s += renderCDF(r.CCCDFs[i], "%8.1f") + renderCDF(r.NetworkCDFs[i], "%8.1f")
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package mahitrace
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"multinet/internal/netem"
+	"multinet/internal/phy"
+	"multinet/internal/simnet"
+)
+
+func TestParseBasic(t *testing.T) {
+	tr, err := Parse(strings.NewReader("0\n1\n1\n3\n5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Opportunities) != 5 {
+		t.Fatalf("ops = %d, want 5", len(tr.Opportunities))
+	}
+	if tr.Period != 5*time.Millisecond {
+		t.Fatalf("period = %v, want 5ms", tr.Period)
+	}
+}
+
+func TestParseCommentsAndBlanks(t *testing.T) {
+	tr, err := Parse(strings.NewReader("# a comment\n\n2\n4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Opportunities) != 2 {
+		t.Fatalf("ops = %d, want 2", len(tr.Opportunities))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",       // empty
+		"abc\n",  // not an int
+		"-1\n",   // negative
+		"5\n3\n", // decreasing
+	}
+	for _, c := range cases {
+		if _, err := Parse(strings.NewReader(c)); err == nil {
+			t.Errorf("Parse(%q) should fail", c)
+		}
+	}
+}
+
+func TestWriteRoundTrip(t *testing.T) {
+	orig, err := Parse(strings.NewReader("0\n2\n2\n7\n10\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Opportunities) != len(orig.Opportunities) || back.Period != orig.Period {
+		t.Fatalf("round trip mismatch: %v vs %v", back, orig)
+	}
+	for i := range back.Opportunities {
+		if back.Opportunities[i] != orig.Opportunities[i] {
+			t.Fatalf("op %d differs", i)
+		}
+	}
+}
+
+func TestMeanMbps(t *testing.T) {
+	// 10 opportunities in 10 ms = 1000 MTU/s = 12 Mbit/s.
+	var lines []string
+	for i := 1; i <= 10; i++ {
+		lines = append(lines, "1")
+	}
+	lines[9] = "10"
+	tr, err := Parse(strings.NewReader(strings.Join(lines, "\n")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tr.MeanMbps()
+	if got < 11 || got > 13 {
+		t.Fatalf("mean = %.2f Mbit/s, want ~12", got)
+	}
+}
+
+func TestSourceLoops(t *testing.T) {
+	tr, err := Parse(strings.NewReader("2\n4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tr.Source()
+	var got []time.Duration
+	at := time.Duration(0)
+	for i := 0; i < 6; i++ {
+		at = src.Next(at)
+		got = append(got, at)
+	}
+	// Period 4 ms: opportunities at 2,4, 6,8, 10,12 ms.
+	want := []time.Duration{2, 4, 6, 8, 10, 12}
+	for i := range want {
+		if got[i] != want[i]*time.Millisecond {
+			t.Fatalf("op %d = %v, want %vms (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestSourceMonotoneProperty(t *testing.T) {
+	tr, err := Parse(strings.NewReader("0\n1\n1\n5\n9\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := tr.Source()
+	f := func(steps uint8) bool {
+		at := time.Duration(0)
+		for i := 0; i < int(steps)+1; i++ {
+			next := src.Next(at)
+			if next <= at {
+				return false
+			}
+			at = next
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceDrivesVarLink(t *testing.T) {
+	// End-to-end: a parsed trace (one opportunity per ms for 1 s, i.e.
+	// 12 Mbit/s of MTU slots) drives a netem link at its mean rate.
+	var sb strings.Builder
+	for ms := 1; ms <= 1000; ms++ {
+		fmt.Fprintln(&sb, ms)
+	}
+	tr, err := Parse(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simnet.New(1)
+	l := netem.NewVarLink(sim, tr.Source(), netem.LinkConfig{QueueLimit: 1 << 20})
+	var bytes int64
+	l.SetReceiver(func(p *netem.Packet) { bytes += int64(p.Size) })
+	for i := 0; i < 3000; i++ {
+		l.Send(&netem.Packet{Size: netem.MTU})
+	}
+	sim.Run()
+	mbps := float64(bytes) * 8 / sim.Now().Seconds() / 1e6
+	if mbps < 11 || mbps > 13 {
+		t.Fatalf("trace-driven link carried %.2f Mbit/s, want ~12", mbps)
+	}
+}
+
+func TestExportSyntheticRadio(t *testing.T) {
+	// Export a phy AR rate process as a Mahimahi trace and check the
+	// written file parses back with a similar mean rate.
+	sim := simnet.New(7)
+	src := phy.NewARRateSource(sim, "x", 8, 0.3)
+	tr := FromSource(src, 30*time.Second)
+	if got := tr.MeanMbps(); got < 6 || got > 10 {
+		t.Fatalf("exported trace mean %.2f Mbit/s, want ~8", got)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Opportunities) != len(tr.Opportunities) {
+		t.Fatalf("round trip lost opportunities: %d vs %d",
+			len(back.Opportunities), len(tr.Opportunities))
+	}
+}

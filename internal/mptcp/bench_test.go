@@ -1,0 +1,24 @@
+package mptcp
+
+import (
+	"testing"
+	"time"
+)
+
+// Micro-benchmarks for the MPTCP engine over two simulated paths.
+
+func benchMPTCP(b *testing.B, size int, cc CongestionMode) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := newRig(int64(i+1), symmetric(10, 15*time.Millisecond),
+			symmetric(8, 30*time.Millisecond), ServerConfig{CC: cc})
+		if _, ok := r.download(Config{ConnID: "bench", Primary: "wifi", CC: cc}, size); !ok {
+			b.Fatal("transfer incomplete")
+		}
+	}
+	b.SetBytes(int64(size))
+}
+
+func BenchmarkMPTCP1MBDecoupled(b *testing.B) { benchMPTCP(b, 1<<20, Decoupled) }
+func BenchmarkMPTCP1MBCoupled(b *testing.B)   { benchMPTCP(b, 1<<20, Coupled) }
+func BenchmarkMPTCP10KB(b *testing.B)         { benchMPTCP(b, 10<<10, Decoupled) }

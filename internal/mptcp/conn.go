@@ -1,0 +1,582 @@
+package mptcp
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"multinet/internal/netem"
+	"multinet/internal/simnet"
+	"multinet/internal/tcp"
+)
+
+// DefaultRecvBuf is the connection-level receive buffer: the scheduler
+// never maps data more than this far beyond the receiver's cumulative
+// data-ACK. Matches the order of Linux MPTCP's default rmem; it is the
+// knob behind receive-window head-of-line blocking on disparate paths.
+const DefaultRecvBuf = 512 << 10
+
+// Config parameterises an MPTCP connection.
+type Config struct {
+	// ConnID uniquely names the connection; subflow flow IDs are
+	// ConnID+"/"+iface.
+	ConnID string
+	// Primary is the interface for the primary subflow.
+	Primary string
+	// CC selects coupled (LIA) or decoupled (Reno) congestion control.
+	CC CongestionMode
+	// Mode selects Full-MPTCP or Backup operation.
+	Mode Mode
+	// BackupIfaces names the interfaces whose subflows are
+	// backup-priority (only meaningful in Backup mode).
+	BackupIfaces []string
+	// RecvBuf bounds scheduling ahead of the peer's data-ACK
+	// (default DefaultRecvBuf).
+	RecvBuf int
+	// NoJoin disables additional subflows (ablation: primary only).
+	NoJoin bool
+	// SimultaneousJoin starts all subflows at Dial time instead of
+	// waiting for the primary handshake (ablation for the paper's
+	// late-join effect).
+	SimultaneousJoin bool
+	// RoundRobin replaces the default min-SRTT scheduler with naive
+	// round-robin (ablation: shows why Linux prefers the fastest path).
+	RoundRobin bool
+}
+
+func (c *Config) recvBuf() int {
+	if c.RecvBuf <= 0 {
+		return DefaultRecvBuf
+	}
+	return c.RecvBuf
+}
+
+// Callbacks are connection-level event hooks.
+type Callbacks struct {
+	// OnEstablished fires when the primary subflow completes its
+	// handshake.
+	OnEstablished func(*Conn)
+	// OnSubflowEstablished fires per subflow.
+	OnSubflowEstablished func(*Conn, *Subflow)
+	// OnData fires when connection-level in-order data advances.
+	OnData func(c *Conn, total int64)
+	// OnClosed fires when all subflows have fully closed.
+	OnClosed func(*Conn)
+}
+
+// mapping is a scheduled chunk of the connection-level byte stream.
+type mapping struct {
+	dataSeq uint64
+	len     int
+}
+
+func (m mapping) end() uint64 { return m.dataSeq + uint64(m.len) }
+
+// Subflow is one TCP subflow of an MPTCP connection.
+type Subflow struct {
+	TCP    *tcp.Conn
+	Iface  *netem.Iface
+	Backup bool
+
+	conn        *Conn
+	established bool
+	dead        bool // administratively down
+	outstanding []mapping
+	reinjected  bool // reinjection already performed for current stall
+}
+
+// Name returns the subflow's flow identifier.
+func (sf *Subflow) Name() string { return sf.TCP.Flow() }
+
+// Established reports whether the subflow handshake completed.
+func (sf *Subflow) Established() bool { return sf.established }
+
+// Dead reports whether the subflow was administratively killed.
+func (sf *Subflow) Dead() bool { return sf.dead }
+
+// Conn is one endpoint of an MPTCP connection. Both the client and the
+// server side use this type; the client side initiates subflows.
+type Conn struct {
+	sim  *simnet.Sim
+	cfg  Config
+	cb   Callbacks
+	side tcp.Side
+
+	stack    *tcp.Stack
+	host     *netem.Host
+	subflows []*Subflow
+
+	// Sender state.
+	sendTotal uint64 // bytes queued by the application
+	dataNxt   uint64 // next unscheduled connection-level byte
+	dataUna   uint64 // cumulative data-ACK from the peer
+	rtxPool   []mapping
+	closeReq  bool
+	closed    bool
+
+	// Receiver state.
+	rcvNxt    uint64
+	ooo       []mapping // out-of-order received intervals (sorted)
+	recvTotal int64
+
+	// Diagnostics.
+	Reinjections int
+	rrCounter    int
+}
+
+// newConn builds the common state.
+func newConn(sim *simnet.Sim, stack *tcp.Stack, host *netem.Host, side tcp.Side, cfg Config, cb Callbacks) *Conn {
+	if cfg.ConnID == "" {
+		panic("mptcp: ConnID required")
+	}
+	return &Conn{sim: sim, cfg: cfg, cb: cb, side: side, stack: stack, host: host}
+}
+
+// Dial opens an MPTCP connection from the client side: the primary
+// subflow starts its handshake immediately; joins follow per Config.
+func Dial(sim *simnet.Sim, stack *tcp.Stack, host *netem.Host, cfg Config, cb Callbacks) *Conn {
+	c := newConn(sim, stack, host, tcp.ClientSide, cfg, cb)
+	primary := host.Iface(cfg.Primary)
+	if primary == nil {
+		panic("mptcp: unknown primary iface " + cfg.Primary)
+	}
+	c.addSubflow(primary, &MPCapable{ConnID: cfg.ConnID}, c.isBackupIface(cfg.Primary))
+	if cfg.SimultaneousJoin && !cfg.NoJoin {
+		c.startJoins()
+	}
+	return c
+}
+
+func (c *Conn) isBackupIface(name string) bool {
+	for _, b := range c.cfg.BackupIfaces {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+// startJoins initiates an MP_JOIN subflow on every interface that does
+// not yet carry one.
+func (c *Conn) startJoins() {
+	for _, iface := range c.host.Ifaces() {
+		if c.subflowOn(iface.Name) != nil {
+			continue
+		}
+		c.addSubflow(iface, &MPJoin{ConnID: c.cfg.ConnID, Backup: c.isBackupIface(iface.Name)}, c.isBackupIface(iface.Name))
+	}
+}
+
+func (c *Conn) subflowOn(ifaceName string) *Subflow {
+	for _, sf := range c.subflows {
+		if sf.Iface.Name == ifaceName {
+			return sf
+		}
+	}
+	return nil
+}
+
+// addSubflow creates and connects a client-side subflow.
+func (c *Conn) addSubflow(iface *netem.Iface, synOpt any, backup bool) *Subflow {
+	sf := &Subflow{Iface: iface, Backup: backup, conn: c}
+	flow := c.cfg.ConnID + "/" + iface.Name
+	sf.TCP = tcp.NewConn(c.sim, iface, netem.Up, flow, tcp.Config{
+		Source:    &sfSource{sf: sf},
+		SynOpt:    synOpt,
+		Callbacks: c.subflowCallbacks(sf),
+	})
+	c.subflows = append(c.subflows, sf)
+	c.watchIface(sf)
+	c.stack.Register(sf.TCP)
+	sf.TCP.Connect()
+	return sf
+}
+
+// adoptSubflow attaches a passively-opened subflow (server side).
+func (c *Conn) adoptSubflow(tc *tcp.Conn, iface *netem.Iface, backup bool) *Subflow {
+	sf := &Subflow{TCP: tc, Iface: iface, Backup: backup, conn: c}
+	tc.SetSource(&sfSource{sf: sf})
+	tc.SetCallbacks(c.subflowCallbacks(sf))
+	if c.cfg.CC == Coupled {
+		tc.SetIncrease(c.liaIncrease(sf))
+	}
+	c.subflows = append(c.subflows, sf)
+	c.watchIface(sf)
+	return sf
+}
+
+// watchIface subscribes to administrative state changes: the iproute
+// `multipath off` signal of paper Section 3.6.
+func (c *Conn) watchIface(sf *Subflow) {
+	sf.Iface.SubscribeDown(func(down bool) {
+		if down {
+			c.subflowDied(sf)
+		} else {
+			c.subflowRevived(sf)
+		}
+	})
+}
+
+func (c *Conn) subflowCallbacks(sf *Subflow) tcp.Callbacks {
+	cb := tcp.Callbacks{
+		OnEstablished: func(tc *tcp.Conn) { c.subflowEstablished(sf) },
+		OnSegment:     func(tc *tcp.Conn, seg *tcp.Segment) { c.onSegment(sf, seg) },
+		OnAckedOpt:    func(tc *tcp.Conn, opt any) { c.onMappingAcked(sf, opt) },
+		AckOpt:        func(tc *tcp.Conn) any { return &DSS{DataAck: c.rcvNxt} },
+		OnRTO:         func(tc *tcp.Conn, count int) { c.onSubflowRTO(sf, count) },
+		OnClosed:      func(tc *tcp.Conn) { c.onSubflowClosed(sf) },
+	}
+	return cb
+}
+
+func (c *Conn) subflowEstablished(sf *Subflow) {
+	first := !c.anyEstablishedExcept(sf)
+	sf.established = true
+	if c.cfg.CC == Coupled {
+		sf.TCP.SetIncrease(c.liaIncrease(sf))
+	}
+	if c.cb.OnSubflowEstablished != nil {
+		c.cb.OnSubflowEstablished(c, sf)
+	}
+	if first {
+		if c.cb.OnEstablished != nil {
+			c.cb.OnEstablished(c)
+		}
+		// Linux initiates MP_JOINs once the MP_CAPABLE handshake is
+		// done — the "late join" at the heart of the paper's short-flow
+		// findings.
+		if c.side == tcp.ClientSide && !c.cfg.NoJoin && !c.cfg.SimultaneousJoin {
+			c.startJoins()
+		}
+	}
+	c.wake()
+}
+
+func (c *Conn) anyEstablishedExcept(not *Subflow) bool {
+	for _, sf := range c.subflows {
+		if sf != not && sf.established {
+			return true
+		}
+	}
+	return false
+}
+
+// Send queues n bytes of application data for striped transmission.
+func (c *Conn) Send(n int) {
+	if n <= 0 {
+		return
+	}
+	c.sendTotal += uint64(n)
+	c.wake()
+}
+
+// Close requests connection shutdown once all queued data is delivered.
+func (c *Conn) Close() {
+	c.closeReq = true
+	c.maybeClose()
+}
+
+// RecvTotal returns cumulative connection-level in-order bytes received.
+func (c *Conn) RecvTotal() int64 { return c.recvTotal }
+
+// Subflows returns the subflows in creation order.
+func (c *Conn) Subflows() []*Subflow { return c.subflows }
+
+// Primary returns the first subflow.
+func (c *Conn) Primary() *Subflow {
+	if len(c.subflows) == 0 {
+		return nil
+	}
+	return c.subflows[0]
+}
+
+// ConnID returns the connection identifier.
+func (c *Conn) ConnID() string { return c.cfg.ConnID }
+
+// wake offers data to eligible subflows, lowest SRTT first (the Linux
+// default scheduler). Each NotifyData lets that subflow pull mappings
+// until its window fills, so the fastest path is preferred whenever
+// several have room.
+func (c *Conn) wake() {
+	sfs := c.eligibleSubflows()
+	for _, sf := range sfs {
+		if !c.hasDataFor(sf) {
+			break
+		}
+		sf.TCP.NotifyData()
+	}
+}
+
+// eligibleSubflows returns established, usable subflows in scheduling
+// priority order: min SRTT first (the Linux default), or rotating
+// round-robin when the ablation flag is set.
+func (c *Conn) eligibleSubflows() []*Subflow {
+	var out []*Subflow
+	for _, sf := range c.subflows {
+		if sf.established && !sf.dead && c.allowedByMode(sf) {
+			out = append(out, sf)
+		}
+	}
+	if c.cfg.RoundRobin {
+		if n := len(out); n > 1 {
+			c.rrCounter++
+			k := c.rrCounter % n
+			out = append(out[k:], out[:k]...)
+		}
+		return out
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		ri, rj := out[i].TCP.SRTT(), out[j].TCP.SRTT()
+		if ri == 0 {
+			ri = time.Hour
+		}
+		if rj == 0 {
+			rj = time.Hour
+		}
+		return ri < rj
+	})
+	return out
+}
+
+// allowedByMode applies Backup-mode gating: backup subflows carry data
+// only when every regular subflow is administratively dead. A silently
+// blackholed regular subflow does NOT activate backups — that is the
+// paper's Fig. 15g behaviour.
+func (c *Conn) allowedByMode(sf *Subflow) bool {
+	if c.cfg.Mode != Backup || !sf.Backup {
+		return true
+	}
+	for _, other := range c.subflows {
+		if !other.Backup && !other.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// hasDataFor reports whether pull would yield a mapping for sf.
+func (c *Conn) hasDataFor(sf *Subflow) bool {
+	if !sf.established || sf.dead || !c.allowedByMode(sf) {
+		return false
+	}
+	if len(c.rtxPool) > 0 {
+		return true
+	}
+	return c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf())
+}
+
+// pull is called by a subflow's Source when it has window space.
+func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
+	if !c.hasDataFor(sf) {
+		return 0, nil, false
+	}
+	// Discard reinjected mappings the peer has meanwhile data-acked.
+	for len(c.rtxPool) > 0 && c.rtxPool[0].end() <= c.dataUna {
+		c.rtxPool = c.rtxPool[1:]
+	}
+	if len(c.rtxPool) == 0 && !(c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf())) {
+		return 0, nil, false
+	}
+	var m mapping
+	if len(c.rtxPool) > 0 {
+		m = c.rtxPool[0]
+		if m.len > max {
+			c.rtxPool[0].dataSeq += uint64(max)
+			c.rtxPool[0].len -= max
+			m.len = max
+		} else {
+			c.rtxPool = c.rtxPool[1:]
+		}
+	} else {
+		n := c.sendTotal - c.dataNxt
+		if lim := c.dataUna + uint64(c.cfg.recvBuf()); c.dataNxt+n > lim {
+			n = lim - c.dataNxt
+		}
+		if int(n) > max {
+			n = uint64(max)
+		}
+		m = mapping{dataSeq: c.dataNxt, len: int(n)}
+		c.dataNxt += n
+	}
+	sf.outstanding = append(sf.outstanding, m)
+	return m.len, &DSS{DataSeq: m.dataSeq, Len: m.len, DataAck: c.rcvNxt}, true
+}
+
+// onMappingAcked removes a subflow-acknowledged mapping.
+func (c *Conn) onMappingAcked(sf *Subflow, opt any) {
+	dss, ok := opt.(*DSS)
+	if !ok || dss.Len == 0 {
+		return
+	}
+	for i, m := range sf.outstanding {
+		if m.dataSeq == dss.DataSeq && m.len == dss.Len {
+			sf.outstanding = append(sf.outstanding[:i], sf.outstanding[i+1:]...)
+			break
+		}
+	}
+	sf.reinjected = false
+	c.maybeClose()
+	c.wake()
+}
+
+// onSegment processes connection-level information on every arriving
+// subflow segment.
+func (c *Conn) onSegment(sf *Subflow, seg *tcp.Segment) {
+	dss, ok := seg.Opt.(*DSS)
+	if !ok {
+		return
+	}
+	if dss.DataAck > c.dataUna {
+		c.dataUna = dss.DataAck
+		c.maybeClose()
+		c.wake()
+	}
+	if dss.Len > 0 {
+		c.receive(mapping{dataSeq: dss.DataSeq, len: dss.Len})
+	}
+}
+
+// receive performs connection-level reassembly.
+func (c *Conn) receive(m mapping) {
+	switch {
+	case m.end() <= c.rcvNxt:
+		return // duplicate
+	case m.dataSeq <= c.rcvNxt:
+		c.rcvNxt = m.end()
+		// Drain contiguous out-of-order intervals.
+		for len(c.ooo) > 0 && c.ooo[0].dataSeq <= c.rcvNxt {
+			if e := c.ooo[0].end(); e > c.rcvNxt {
+				c.rcvNxt = e
+			}
+			c.ooo = c.ooo[1:]
+		}
+	default:
+		c.insertOOO(m)
+	}
+	if int64(c.rcvNxt) > c.recvTotal {
+		c.recvTotal = int64(c.rcvNxt)
+		if c.cb.OnData != nil {
+			c.cb.OnData(c, c.recvTotal)
+		}
+	}
+}
+
+func (c *Conn) insertOOO(m mapping) {
+	pos := len(c.ooo)
+	for i, e := range c.ooo {
+		if m.dataSeq < e.dataSeq {
+			pos = i
+			break
+		}
+	}
+	c.ooo = append(c.ooo, mapping{})
+	copy(c.ooo[pos+1:], c.ooo[pos:])
+	c.ooo[pos] = m
+	// Merge overlaps.
+	merged := c.ooo[:1]
+	for _, e := range c.ooo[1:] {
+		last := &merged[len(merged)-1]
+		if e.dataSeq <= last.end() {
+			if e.end() > last.end() {
+				last.len = int(e.end() - last.dataSeq)
+			}
+		} else {
+			merged = append(merged, e)
+		}
+	}
+	c.ooo = merged
+}
+
+// onSubflowRTO handles repeated timeouts: in Full-MPTCP mode the
+// subflow's outstanding mappings are reinjected onto the others; in
+// Backup mode a stalled regular subflow causes the backup to emit a
+// single window update and nothing else (the paper's Fig. 15g trace).
+func (c *Conn) onSubflowRTO(sf *Subflow, count int) {
+	if count < 2 || sf.reinjected {
+		return
+	}
+	sf.reinjected = true
+	c.reinject(sf, false)
+	if c.cfg.Mode == Backup && !sf.Backup {
+		for _, other := range c.subflows {
+			if other.Backup && other.established && !other.dead {
+				other.TCP.SendWindowUpdate()
+			}
+		}
+	}
+	c.wake()
+}
+
+// reinject copies (or moves, if the subflow is dead) sf's outstanding
+// mappings above the data-ACK point into the retransmission pool.
+func (c *Conn) reinject(sf *Subflow, move bool) {
+	for _, m := range sf.outstanding {
+		if m.end() <= c.dataUna {
+			continue
+		}
+		c.rtxPool = append(c.rtxPool, m)
+		c.Reinjections++
+	}
+	if move {
+		sf.outstanding = nil
+	}
+}
+
+// subflowDied handles an administrative interface down: the subflow is
+// torn down (as the kernel does on interface removal), its unacked
+// mappings reinjected for the surviving subflows.
+func (c *Conn) subflowDied(sf *Subflow) {
+	if sf.dead {
+		return
+	}
+	sf.dead = true
+	c.reinject(sf, true)
+	sf.TCP.Abort()
+	c.wake()
+}
+
+// subflowRevived handles an administrative interface up.
+func (c *Conn) subflowRevived(sf *Subflow) {
+	if !sf.dead {
+		return
+	}
+	sf.dead = false
+	c.wake()
+}
+
+// maybeClose sends FINs on every subflow once all data is delivered.
+func (c *Conn) maybeClose() {
+	if !c.closeReq || c.closed {
+		return
+	}
+	if c.dataNxt < c.sendTotal || c.dataUna < c.sendTotal || len(c.rtxPool) > 0 {
+		return
+	}
+	c.closed = true
+	for _, sf := range c.subflows {
+		sf.TCP.Close()
+	}
+}
+
+func (c *Conn) onSubflowClosed(sf *Subflow) {
+	for _, other := range c.subflows {
+		if other.TCP.State() != tcp.StateDone {
+			return
+		}
+	}
+	if c.cb.OnClosed != nil {
+		c.cb.OnClosed(c)
+	}
+}
+
+// String describes the connection.
+func (c *Conn) String() string {
+	return fmt.Sprintf("mptcp(%s %d subflows, sent=%d acked=%d recv=%d)",
+		c.cfg.ConnID, len(c.subflows), c.dataNxt, c.dataUna, c.recvTotal)
+}
+
+// sfSource adapts the connection scheduler to the tcp.Source interface.
+type sfSource struct{ sf *Subflow }
+
+func (s *sfSource) Next(max int) (int, any, bool) { return s.sf.conn.pull(s.sf, max) }
+func (s *sfSource) Pending() bool                 { return s.sf.conn.hasDataFor(s.sf) }

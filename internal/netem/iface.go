@@ -1,0 +1,212 @@
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"multinet/internal/simnet"
+)
+
+// Tap observes packets as they are sent into a link (before queueing and
+// drops). The capture package installs taps to build tcpdump-like traces.
+type Tap func(p *Packet)
+
+// Iface is one duplex network attachment of the multi-homed client: an
+// uplink (client→server) and a downlink (server→client) pair of links,
+// e.g. the WiFi path or the LTE path of paper Fig. 5.
+type Iface struct {
+	Name string
+
+	sim      *simnet.Sim
+	up, down Link
+
+	clientRecv func(*Packet)
+	serverRecv func(*Packet)
+	sendTaps   []Tap
+	recvTaps   []Tap
+
+	adminDown bool
+	blackhole bool
+	downSubs  []func(down bool)
+
+	// Radio wake-up (RRC promotion) state: the first uplink packet
+	// after promIdle of silence waits promDelay before entering the
+	// link, modelling the LTE IDLE→CONNECTED transition.
+	promDelay    time.Duration
+	promIdle     time.Duration
+	lastActivity time.Duration
+	wakeUntil    time.Duration
+}
+
+// NewIface wires a duplex interface from two one-way links.
+func NewIface(sim *simnet.Sim, name string, uplink, downlink Link) *Iface {
+	i := &Iface{Name: name, sim: sim, up: uplink, down: downlink, lastActivity: -1}
+	uplink.SetReceiver(func(p *Packet) {
+		i.lastActivity = sim.Now()
+		for _, t := range i.recvTaps {
+			t(p)
+		}
+		if i.serverRecv != nil {
+			i.serverRecv(p)
+		}
+	})
+	downlink.SetReceiver(func(p *Packet) {
+		i.lastActivity = sim.Now()
+		for _, t := range i.recvTaps {
+			t(p)
+		}
+		if i.clientRecv != nil {
+			i.clientRecv(p)
+		}
+	})
+	return i
+}
+
+// SetPromotion configures radio wake-up latency: the first uplink
+// packet after idleAfter of radio silence is held for delay before it
+// enters the link (and packets sent during the wake-up queue behind
+// it). This models cellular RRC promotion — one reason the paper's
+// traces show slow connection setup on LTE (e.g. its Fig. 9
+// discussion). Pass delay 0 to disable.
+func (i *Iface) SetPromotion(delay, idleAfter time.Duration) {
+	i.promDelay = delay
+	i.promIdle = idleAfter
+}
+
+// OnClientRecv installs the client-side delivery callback (packets
+// travelling Down arrive here).
+func (i *Iface) OnClientRecv(fn func(*Packet)) { i.clientRecv = fn }
+
+// OnServerRecv installs the server-side delivery callback (packets
+// travelling Up arrive here).
+func (i *Iface) OnServerRecv(fn func(*Packet)) { i.serverRecv = fn }
+
+// AddSendTap registers a tap on packets entering either link.
+func (i *Iface) AddSendTap(t Tap) { i.sendTaps = append(i.sendTaps, t) }
+
+// AddRecvTap registers a tap on packets delivered from either link.
+func (i *Iface) AddRecvTap(t Tap) { i.recvTaps = append(i.recvTaps, t) }
+
+// SendUp transmits a packet client→server on this interface, paying
+// radio promotion latency if the radio was idle.
+func (i *Iface) SendUp(size int, payload any) {
+	p := &Packet{Iface: i.Name, Dir: Up, Size: size, Payload: payload}
+	for _, t := range i.sendTaps {
+		t(p)
+	}
+	now := i.sim.Now()
+	if i.promDelay > 0 {
+		switch {
+		case now < i.wakeUntil:
+			// Radio still waking: queue behind the promotion (FIFO is
+			// preserved by the event heap's scheduling order).
+			i.lastActivity = i.wakeUntil
+			i.sim.Schedule(i.wakeUntil, func() { i.up.Send(p) })
+			return
+		case i.lastActivity < 0 || now-i.lastActivity > i.promIdle:
+			i.wakeUntil = now + i.promDelay
+			i.lastActivity = i.wakeUntil
+			i.sim.Schedule(i.wakeUntil, func() { i.up.Send(p) })
+			return
+		}
+	}
+	i.lastActivity = now
+	i.up.Send(p)
+}
+
+// SendDown transmits a packet server→client on this interface. The
+// server side never pays promotion: our flows are client-initiated, so
+// the radio is already connected when responses arrive.
+func (i *Iface) SendDown(size int, payload any) {
+	p := &Packet{Iface: i.Name, Dir: Down, Size: size, Payload: payload}
+	for _, t := range i.sendTaps {
+		t(p)
+	}
+	i.down.Send(p)
+}
+
+// SetDown administratively changes the interface state in both
+// directions and, unlike Blackhole, notifies subscribers — this is the
+// `iproute multipath off` semantics of paper Section 3.6: protocol
+// stacks learn about the change immediately.
+func (i *Iface) SetDown(down bool) {
+	if i.adminDown == down {
+		return
+	}
+	i.adminDown = down
+	i.up.SetDown(down)
+	i.down.SetDown(down)
+	for _, fn := range i.downSubs {
+		fn(down)
+	}
+}
+
+// SetBlackhole silently kills (or restores) the path in both directions
+// with no notification — the "physically unplug the phone" semantics of
+// paper Fig. 15g/h: traffic vanishes but no stack is told.
+func (i *Iface) SetBlackhole(bh bool) {
+	if i.blackhole == bh {
+		return
+	}
+	i.blackhole = bh
+	i.up.SetBlackhole(bh)
+	i.down.SetBlackhole(bh)
+}
+
+// AdminDown reports whether the interface is administratively down.
+func (i *Iface) AdminDown() bool { return i.adminDown }
+
+// Blackholed reports whether the interface is silently discarding.
+func (i *Iface) Blackholed() bool { return i.blackhole }
+
+// SubscribeDown registers a callback invoked on administrative state
+// changes (true = went down). Blackholes do NOT trigger it.
+func (i *Iface) SubscribeDown(fn func(down bool)) { i.downSubs = append(i.downSubs, fn) }
+
+// UpLink returns the client→server link.
+func (i *Iface) UpLink() Link { return i.up }
+
+// DownLink returns the server→client link.
+func (i *Iface) DownLink() Link { return i.down }
+
+// String identifies the interface.
+func (i *Iface) String() string { return fmt.Sprintf("iface(%s)", i.Name) }
+
+// Host is a multi-homed client endpoint: a set of named interfaces, all
+// terminating at the same single-homed server (as in the paper's setup:
+// a laptop tethered to a WiFi phone and an LTE phone, talking to a
+// server at MIT).
+type Host struct {
+	Name   string
+	ifaces map[string]*Iface
+	order  []string
+}
+
+// NewHost creates an empty host.
+func NewHost(name string) *Host {
+	return &Host{Name: name, ifaces: make(map[string]*Iface)}
+}
+
+// Attach adds an interface; attaching a duplicate name panics.
+func (h *Host) Attach(i *Iface) {
+	if _, dup := h.ifaces[i.Name]; dup {
+		panic("netem: duplicate interface " + i.Name)
+	}
+	h.ifaces[i.Name] = i
+	h.order = append(h.order, i.Name)
+}
+
+// Iface returns the named interface or nil.
+func (h *Host) Iface(name string) *Iface { return h.ifaces[name] }
+
+// Ifaces returns the interfaces in attachment order.
+func (h *Host) Ifaces() []*Iface {
+	out := make([]*Iface, 0, len(h.order))
+	for _, n := range h.order {
+		out = append(out, h.ifaces[n])
+	}
+	return out
+}
+
+// IfaceNames returns the interface names in attachment order.
+func (h *Host) IfaceNames() []string { return append([]string(nil), h.order...) }

@@ -1,0 +1,310 @@
+package netem
+
+import (
+	"math/rand"
+	"time"
+
+	"multinet/internal/simnet"
+)
+
+// LinkConfig holds the parameters shared by both link service models.
+type LinkConfig struct {
+	// PropDelay is the one-way propagation delay added after a packet
+	// finishes transmission.
+	PropDelay time.Duration
+	// QueueLimit is the droptail queue capacity in packets (the packet
+	// in service counts). Zero means DefaultQueueLimit.
+	QueueLimit int
+	// LossProb is an i.i.d. per-packet drop probability in [0,1).
+	LossProb float64
+	// RNG drives random loss; required only when LossProb > 0.
+	RNG *rand.Rand
+}
+
+// DefaultQueueLimit is the droptail capacity used when LinkConfig leaves
+// QueueLimit zero. 100 packets ≈ 150 KB, a typical CPE buffer.
+const DefaultQueueLimit = 100
+
+func (c *LinkConfig) queueLimit() int {
+	if c.QueueLimit <= 0 {
+		return DefaultQueueLimit
+	}
+	return c.QueueLimit
+}
+
+// baseLink implements the queueing, loss, and state logic shared by
+// FixedLink and VarLink.
+type baseLink struct {
+	sim      *simnet.Sim
+	cfg      LinkConfig
+	recv     func(*Packet)
+	queue    []*Packet
+	down     bool
+	blackhol bool
+	stats    LinkStats
+}
+
+func (b *baseLink) SetReceiver(fn func(*Packet)) { b.recv = fn }
+func (b *baseLink) Stats() LinkStats             { return b.stats }
+func (b *baseLink) QueueLen() int                { return len(b.queue) }
+
+// admit runs the shared drop logic; it returns true when the packet was
+// queued and the caller should (re)start service.
+func (b *baseLink) admit(p *Packet) bool {
+	if b.down || b.blackhol {
+		b.stats.DroppedDown++
+		return false
+	}
+	if b.cfg.LossProb > 0 && b.cfg.RNG != nil && b.cfg.RNG.Float64() < b.cfg.LossProb {
+		b.stats.DroppedLoss++
+		return false
+	}
+	if len(b.queue) >= b.cfg.queueLimit() {
+		b.stats.DroppedQueue++
+		return false
+	}
+	p.SendTime = b.sim.Now()
+	b.queue = append(b.queue, p)
+	b.stats.Sent++
+	b.stats.BytesIn += int64(p.Size)
+	return true
+}
+
+// deliver hands a packet to the receiver after propagation delay, unless
+// the link went down while the packet was in flight.
+func (b *baseLink) deliver(p *Packet) {
+	b.stats.Delivered++
+	b.stats.BytesOut += int64(p.Size)
+	b.sim.After(b.cfg.PropDelay, func() {
+		if b.down || b.blackhol {
+			// The packet was on the wire when the link died: it is lost.
+			b.stats.Delivered--
+			b.stats.BytesOut -= int64(p.Size)
+			b.stats.DroppedDown++
+			return
+		}
+		if b.recv != nil {
+			b.recv(p)
+		}
+	})
+}
+
+// purge empties the queue, counting the discards as down-drops.
+func (b *baseLink) purge() {
+	b.stats.DroppedDown += len(b.queue)
+	b.queue = b.queue[:0]
+}
+
+// FixedLink is a constant-bit-rate link.
+type FixedLink struct {
+	baseLink
+	rateBps   float64 // bits per second
+	busyUntil time.Duration
+	serving   bool
+}
+
+// NewFixedLink creates a link that transmits at rateMbps megabits per
+// second with the given config.
+func NewFixedLink(sim *simnet.Sim, rateMbps float64, cfg LinkConfig) *FixedLink {
+	if rateMbps <= 0 {
+		panic("netem: FixedLink rate must be positive")
+	}
+	return &FixedLink{
+		baseLink: baseLink{sim: sim, cfg: cfg},
+		rateBps:  rateMbps * 1e6,
+	}
+}
+
+// RateMbps returns the configured rate in Mbit/s.
+func (l *FixedLink) RateMbps() float64 { return l.rateBps / 1e6 }
+
+// SetRateMbps changes the link rate; it applies to packets whose
+// transmission starts after the change.
+func (l *FixedLink) SetRateMbps(mbps float64) {
+	if mbps <= 0 {
+		panic("netem: FixedLink rate must be positive")
+	}
+	l.rateBps = mbps * 1e6
+}
+
+// Send implements Link.
+func (l *FixedLink) Send(p *Packet) {
+	if !l.admit(p) {
+		return
+	}
+	if !l.serving {
+		l.serveNext()
+	}
+}
+
+func (l *FixedLink) serveNext() {
+	if len(l.queue) == 0 || l.down || l.blackhol {
+		l.serving = false
+		return
+	}
+	l.serving = true
+	p := l.queue[0]
+	txTime := time.Duration(float64(p.Size*8) / l.rateBps * float64(time.Second))
+	start := l.sim.Now()
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	done := start + txTime
+	l.busyUntil = done
+	l.sim.Schedule(done, func() {
+		if l.down || l.blackhol {
+			l.serving = false
+			return
+		}
+		if len(l.queue) > 0 && l.queue[0] == p {
+			l.queue = l.queue[1:]
+			l.deliver(p)
+		}
+		l.serveNext()
+	})
+}
+
+// SetDown implements Link. Bringing the link down purges the queue.
+func (l *FixedLink) SetDown(down bool) {
+	was := l.down
+	l.down = down
+	if down {
+		l.purge()
+		l.serving = false
+	} else if was && !down {
+		l.busyUntil = l.sim.Now()
+		l.serveNext()
+	}
+}
+
+// SetBlackhole implements Link.
+func (l *FixedLink) SetBlackhole(bh bool) {
+	was := l.blackhol
+	l.blackhol = bh
+	if bh {
+		l.purge()
+		l.serving = false
+	} else if was && !bh {
+		l.busyUntil = l.sim.Now()
+		l.serveNext()
+	}
+}
+
+// OpportunitySource produces the packet-delivery schedule for a VarLink.
+// Next returns the first delivery-opportunity instant strictly after
+// `after`. Sources must be monotone: Next(t) > t.
+type OpportunitySource interface {
+	Next(after time.Duration) time.Duration
+}
+
+// VarLink delivers packets at discrete delivery opportunities, the model
+// Mahimahi uses for cellular and WiFi traces. Each opportunity carries
+// up to MTU bytes of the head-of-line packet; larger packets consume
+// several opportunities.
+type VarLink struct {
+	baseLink
+	src       OpportunitySource
+	wake      *simnet.Timer
+	headBytes int // bytes of the head packet already transmitted
+}
+
+// NewVarLink creates a trace-driven link from an opportunity source.
+func NewVarLink(sim *simnet.Sim, src OpportunitySource, cfg LinkConfig) *VarLink {
+	if src == nil {
+		panic("netem: VarLink needs an OpportunitySource")
+	}
+	return &VarLink{
+		baseLink: baseLink{sim: sim, cfg: cfg},
+		src:      src,
+	}
+}
+
+// Send implements Link.
+func (l *VarLink) Send(p *Packet) {
+	if !l.admit(p) {
+		return
+	}
+	l.arm()
+}
+
+func (l *VarLink) arm() {
+	if l.wake != nil && l.wake.Active() {
+		return
+	}
+	if len(l.queue) == 0 || l.down || l.blackhol {
+		return
+	}
+	next := l.src.Next(l.sim.Now())
+	l.wake = l.sim.Schedule(next, l.opportunity)
+}
+
+// opportunity consumes one delivery slot.
+func (l *VarLink) opportunity() {
+	if len(l.queue) == 0 || l.down || l.blackhol {
+		return
+	}
+	p := l.queue[0]
+	l.headBytes += MTU
+	if l.headBytes >= p.Size {
+		l.queue = l.queue[1:]
+		l.headBytes = 0
+		l.deliver(p)
+	}
+	l.arm()
+}
+
+// SetDown implements Link.
+func (l *VarLink) SetDown(down bool) {
+	was := l.down
+	l.down = down
+	if down {
+		l.purge()
+		l.headBytes = 0
+		if l.wake != nil {
+			l.wake.Stop()
+		}
+	} else if was && !down {
+		l.arm()
+	}
+}
+
+// SetBlackhole implements Link.
+func (l *VarLink) SetBlackhole(bh bool) {
+	was := l.blackhol
+	l.blackhol = bh
+	if bh {
+		l.purge()
+		l.headBytes = 0
+		if l.wake != nil {
+			l.wake.Stop()
+		}
+	} else if was && !bh {
+		l.arm()
+	}
+}
+
+// PeriodicOpportunities is an OpportunitySource delivering MTU-sized
+// slots at a constant rate, i.e. a CBR link expressed in the
+// opportunity model.
+type PeriodicOpportunities struct {
+	Interval time.Duration
+}
+
+// NewPeriodicOpportunities returns a source whose slot rate carries
+// rateMbps of MTU-sized packets.
+func NewPeriodicOpportunities(rateMbps float64) *PeriodicOpportunities {
+	if rateMbps <= 0 {
+		panic("netem: rate must be positive")
+	}
+	perSec := rateMbps * 1e6 / (8 * MTU)
+	return &PeriodicOpportunities{Interval: time.Duration(float64(time.Second) / perSec)}
+}
+
+// Next implements OpportunitySource.
+func (p *PeriodicOpportunities) Next(after time.Duration) time.Duration {
+	if p.Interval <= 0 {
+		panic("netem: PeriodicOpportunities needs positive interval")
+	}
+	n := after/p.Interval + 1
+	return n * p.Interval
+}

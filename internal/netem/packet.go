@@ -1,0 +1,88 @@
+// Package netem emulates network paths over the simnet kernel: one-way
+// links with finite rate, propagation delay, droptail queues and random
+// loss, composed into duplex interfaces (WiFi, LTE) of a multi-homed
+// client talking to a single-homed server — the topology of the paper's
+// measurement setup (paper Fig. 5).
+//
+// Two link service models are provided:
+//
+//   - FixedLink: constant bit rate (classic serialization + propagation).
+//   - VarLink: Mahimahi-style packet-delivery opportunities from an
+//     OpportunitySource, used for trace-driven and stochastic radio
+//     models (paper Section 5 uses packet-delivery traces the same way).
+//
+// Interface failure semantics matter for the paper's Fig. 15: an
+// explicit Down (the `multipath off` / iproute case) notifies listeners
+// immediately, while Blackhole (physically unplugging the tethered
+// phone's cellular link) silently discards traffic with no signal.
+package netem
+
+import (
+	"time"
+)
+
+// Direction of a packet relative to the multi-homed client.
+type Direction int
+
+const (
+	// Up is client-to-server.
+	Up Direction = iota
+	// Down is server-to-client.
+	Down
+)
+
+// String returns "up" or "down".
+func (d Direction) String() string {
+	if d == Up {
+		return "up"
+	}
+	return "down"
+}
+
+// MTU is the maximum transmission unit in bytes used by the delivery-
+// opportunity link model, matching Mahimahi's 1500-byte slots.
+const MTU = 1500
+
+// Packet is the unit of transfer across links. Transports put their
+// segment in Payload; Size is the total on-the-wire size in bytes.
+type Packet struct {
+	// Iface names the client interface this packet traverses ("wifi",
+	// "lte"); filled in by the Iface send helpers.
+	Iface string
+	// Dir is the travel direction relative to the client.
+	Dir Direction
+	// Size is the on-the-wire size in bytes, headers included.
+	Size int
+	// Payload carries the transport segment.
+	Payload any
+	// SendTime is when the packet entered the link, set by the link.
+	SendTime time.Duration
+}
+
+// LinkStats counts per-link activity.
+type LinkStats struct {
+	Sent         int // packets accepted onto the queue
+	Delivered    int // packets handed to the receiver
+	DroppedQueue int // droptail discards
+	DroppedLoss  int // random-loss discards
+	DroppedDown  int // discards while the link was down or blackholed
+	BytesIn      int64
+	BytesOut     int64
+}
+
+// Link is a one-way packet carrier.
+type Link interface {
+	// Send enqueues a packet; drops are reflected in Stats.
+	Send(p *Packet)
+	// SetReceiver installs the delivery callback. Must be set before
+	// the first Send.
+	SetReceiver(fn func(*Packet))
+	// SetDown marks the link administratively down (true) or up.
+	SetDown(down bool)
+	// SetBlackhole makes the link silently swallow all packets.
+	SetBlackhole(bh bool)
+	// Stats returns a snapshot of the link counters.
+	Stats() LinkStats
+	// QueueLen returns the number of packets waiting or in service.
+	QueueLen() int
+}

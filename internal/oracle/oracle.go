@@ -1,0 +1,127 @@
+// Package oracle implements the paper's Section 5 oracle schemes: for
+// each network condition, an oracle picks the best configuration from
+// the subset it controls (the network for single-path TCP, the primary
+// subflow given a congestion controller, or the congestion controller
+// given a primary). Figures 19 and 21 report each oracle's app
+// response time averaged over the 20 conditions and normalised by
+// single-path TCP over WiFi — the Android default the paper compares
+// everything against.
+package oracle
+
+import (
+	"math"
+	"time"
+)
+
+// Scheme is one oracle policy.
+type Scheme int
+
+// The paper's five oracle schemes plus the WiFi-TCP baseline.
+const (
+	// WiFiTCPBaseline is plain TCP over WiFi (normalisation reference).
+	WiFiTCPBaseline Scheme = iota
+	// SinglePathTCP knows which network minimises response time.
+	SinglePathTCP
+	// DecoupledMPTCP uses decoupled CC and knows the best primary.
+	DecoupledMPTCP
+	// CoupledMPTCP uses coupled CC and knows the best primary.
+	CoupledMPTCP
+	// MPTCPWiFiPrimary uses WiFi primary and knows the best CC.
+	MPTCPWiFiPrimary
+	// MPTCPLTEPrimary uses LTE primary and knows the best CC.
+	MPTCPLTEPrimary
+)
+
+// String names the scheme as in the paper's figure legends.
+func (s Scheme) String() string {
+	switch s {
+	case WiFiTCPBaseline:
+		return "WiFi-TCP"
+	case SinglePathTCP:
+		return "Single-Path-TCP Oracle"
+	case DecoupledMPTCP:
+		return "Decoupled-MPTCP Oracle"
+	case CoupledMPTCP:
+		return "Coupled-MPTCP Oracle"
+	case MPTCPWiFiPrimary:
+		return "MPTCP-WiFi-Primary Oracle"
+	case MPTCPLTEPrimary:
+		return "MPTCP-LTE-Primary Oracle"
+	}
+	return "unknown"
+}
+
+// Schemes lists all schemes in the paper's legend order.
+var Schemes = []Scheme{
+	WiFiTCPBaseline, SinglePathTCP, DecoupledMPTCP, CoupledMPTCP,
+	MPTCPWiFiPrimary, MPTCPLTEPrimary,
+}
+
+// configs maps each scheme to the replay configuration names it may
+// choose between (names from replay.StandardConfigs).
+var configs = map[Scheme][]string{
+	WiFiTCPBaseline:  {"WiFi-TCP"},
+	SinglePathTCP:    {"WiFi-TCP", "LTE-TCP"},
+	DecoupledMPTCP:   {"MPTCP-Decoupled-WiFi", "MPTCP-Decoupled-LTE"},
+	CoupledMPTCP:     {"MPTCP-Coupled-WiFi", "MPTCP-Coupled-LTE"},
+	MPTCPWiFiPrimary: {"MPTCP-Coupled-WiFi", "MPTCP-Decoupled-WiFi"},
+	MPTCPLTEPrimary:  {"MPTCP-Coupled-LTE", "MPTCP-Decoupled-LTE"},
+}
+
+// Pick returns the scheme's oracle response time for one condition:
+// the minimum over the configurations it controls. ok is false if any
+// needed configuration is missing.
+func Pick(perConfig map[string]time.Duration, s Scheme) (time.Duration, bool) {
+	names := configs[s]
+	best := time.Duration(math.MaxInt64)
+	for _, n := range names {
+		d, ok := perConfig[n]
+		if !ok {
+			return 0, false
+		}
+		if d < best {
+			best = d
+		}
+	}
+	return best, true
+}
+
+// Normalized computes each scheme's mean response time across
+// conditions, normalised by the WiFi-TCP baseline — the bars of the
+// paper's Figs. 19 and 21. Conditions missing any configuration are
+// skipped.
+func Normalized(conditions []map[string]time.Duration) map[Scheme]float64 {
+	sums := map[Scheme]float64{}
+	n := 0
+	for _, cond := range conditions {
+		base, ok := cond["WiFi-TCP"]
+		if !ok || base <= 0 {
+			continue
+		}
+		complete := true
+		vals := map[Scheme]float64{}
+		for _, s := range Schemes {
+			d, ok := Pick(cond, s)
+			if !ok {
+				complete = false
+				break
+			}
+			vals[s] = float64(d) / float64(base)
+		}
+		if !complete {
+			continue
+		}
+		for s, v := range vals {
+			sums[s] += v
+		}
+		n++
+	}
+	out := map[Scheme]float64{}
+	if n == 0 {
+		return out
+	}
+	for s, v := range sums {
+		out[s] = v / float64(n)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func cond(wifi, lte, cw, cl, dw, dl float64) map[string]time.Duration {
+	sec := func(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+	return map[string]time.Duration{
+		"WiFi-TCP":             sec(wifi),
+		"LTE-TCP":              sec(lte),
+		"MPTCP-Coupled-WiFi":   sec(cw),
+		"MPTCP-Coupled-LTE":    sec(cl),
+		"MPTCP-Decoupled-WiFi": sec(dw),
+		"MPTCP-Decoupled-LTE":  sec(dl),
+	}
+}
+
+func TestPickMinimum(t *testing.T) {
+	c := cond(2.7, 5.5, 5.3, 4.0, 4.5, 4.2)
+	cases := []struct {
+		s    Scheme
+		want time.Duration
+	}{
+		{WiFiTCPBaseline, 2700 * time.Millisecond},
+		{SinglePathTCP, 2700 * time.Millisecond},
+		{CoupledMPTCP, 4 * time.Second},
+		{DecoupledMPTCP, 4200 * time.Millisecond},
+		{MPTCPWiFiPrimary, 4500 * time.Millisecond},
+		{MPTCPLTEPrimary, 4 * time.Second},
+	}
+	for _, tc := range cases {
+		got, ok := Pick(c, tc.s)
+		if !ok || got != tc.want {
+			t.Errorf("%v: got %v ok=%v, want %v", tc.s, got, ok, tc.want)
+		}
+	}
+}
+
+func TestPickMissingConfig(t *testing.T) {
+	c := map[string]time.Duration{"WiFi-TCP": time.Second}
+	if _, ok := Pick(c, SinglePathTCP); ok {
+		t.Fatal("Pick should fail with missing configs")
+	}
+}
+
+func TestNormalizedBaselineIsOne(t *testing.T) {
+	conds := []map[string]time.Duration{
+		cond(2, 4, 3, 3.5, 3.2, 3.1),
+		cond(7, 3, 6, 4, 5.5, 3.8),
+	}
+	norm := Normalized(conds)
+	if math.Abs(norm[WiFiTCPBaseline]-1) > 1e-9 {
+		t.Fatalf("baseline = %v, want 1", norm[WiFiTCPBaseline])
+	}
+	// Every oracle is at most its baseline's superset minimum, so the
+	// single-path oracle must be <= 1.
+	if norm[SinglePathTCP] > 1 {
+		t.Fatalf("single-path oracle %v > 1", norm[SinglePathTCP])
+	}
+}
+
+func TestNormalizedAveragesAcrossConditions(t *testing.T) {
+	conds := []map[string]time.Duration{
+		cond(4, 2, 9, 9, 9, 9), // LTE halves the time: ratio 0.5
+		cond(4, 4, 9, 9, 9, 9), // tie: ratio 1.0
+	}
+	norm := Normalized(conds)
+	if math.Abs(norm[SinglePathTCP]-0.75) > 1e-9 {
+		t.Fatalf("single-path oracle = %v, want 0.75", norm[SinglePathTCP])
+	}
+}
+
+func TestNormalizedSkipsIncomplete(t *testing.T) {
+	conds := []map[string]time.Duration{
+		cond(4, 2, 3, 3, 3, 3),
+		{"WiFi-TCP": time.Second}, // incomplete
+	}
+	norm := Normalized(conds)
+	if math.Abs(norm[SinglePathTCP]-0.5) > 1e-9 {
+		t.Fatalf("incomplete condition not skipped: %v", norm[SinglePathTCP])
+	}
+}
+
+func TestNormalizedEmpty(t *testing.T) {
+	if n := Normalized(nil); len(n) != 0 {
+		t.Fatal("empty input should give empty output")
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	for _, s := range Schemes {
+		if s.String() == "unknown" {
+			t.Fatalf("scheme %d has no name", s)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package phy models the physical-layer behaviour of the WiFi and LTE
+// paths the paper measured: per-location mean rates, RTTs, loss, and a
+// stochastic rate process that drives Mahimahi-style delivery-
+// opportunity links (the paper's Section 5 emulation method).
+//
+// This package is the substitution for the paper's physical testbed
+// (two tethered phones at 20 US locations, Verizon/Sprint LTE): each
+// location is a calibrated profile whose aggregate statistics span the
+// same ranges as the paper's Fig. 6 CDFs. All randomness draws from
+// named simnet streams, so a given (seed, location) is reproducible.
+package phy
+
+import (
+	"math"
+	"time"
+
+	"multinet/internal/netem"
+	"multinet/internal/simnet"
+)
+
+// PathProfile describes one radio path (e.g. the WiFi path at one
+// location) in both directions.
+type PathProfile struct {
+	// DownMbps and UpMbps are the mean link rates.
+	DownMbps, UpMbps float64
+	// RTTms is the base (unloaded) round-trip time in milliseconds;
+	// each direction gets half as propagation delay.
+	RTTms float64
+	// LossPct is the i.i.d. packet loss probability in percent.
+	LossPct float64
+	// Variability is the standard deviation of the log-rate AR(1)
+	// process (0 = constant-rate link). 0.3 means the instantaneous
+	// rate typically wanders within roughly ±30% of the mean.
+	Variability float64
+	// QueuePkts is the bottleneck buffer in packets (LTE is typically
+	// much deeper — bufferbloat).
+	QueuePkts int
+	// PromotionMs is the radio wake-up (RRC promotion) latency paid by
+	// the first uplink packet after PromotionIdle of silence. Cellular
+	// radios pay hundreds of milliseconds; WiFi effectively none.
+	PromotionMs float64
+	// PromotionIdleSecs is the silence needed before the next send pays
+	// PromotionMs again (default 10 s when PromotionMs > 0).
+	PromotionIdleSecs float64
+}
+
+func (p PathProfile) queue() int {
+	if p.QueuePkts > 0 {
+		return p.QueuePkts
+	}
+	return netem.DefaultQueueLimit
+}
+
+// OWD returns the one-way propagation delay.
+func (p PathProfile) OWD() time.Duration {
+	return time.Duration(p.RTTms/2*1000) * time.Microsecond
+}
+
+// PingRTT draws one ping RTT sample in milliseconds: the base RTT plus
+// lognormal jitter scaled by Variability.
+func (p PathProfile) PingRTT(rng interface{ NormFloat64() float64 }) float64 {
+	jitter := math.Exp(rng.NormFloat64() * p.Variability * 0.5) // median 1
+	return p.RTTms * jitter
+}
+
+// ARRateSource is a delivery-opportunity source whose instantaneous
+// rate follows an AR(1) process in log space, updated every Epoch. It
+// is the synthetic stand-in for Mahimahi's recorded packet-delivery
+// traces: bursty, time-varying, but with a controlled mean.
+type ARRateSource struct {
+	MeanBps float64
+	Sigma   float64 // stddev of the stationary log-rate distribution
+	Rho     float64 // AR(1) coefficient per epoch
+	Epoch   time.Duration
+
+	rng       interface{ NormFloat64() float64 }
+	logDev    float64 // current deviation from log mean
+	lastEpoch int64
+}
+
+// NewARRateSource builds a rate process around meanMbps with the given
+// variability (stationary sigma of log rate). rho defaults to 0.9 per
+// 100 ms epoch, giving correlation times of about a second, comparable
+// to real wireless rate traces.
+func NewARRateSource(sim *simnet.Sim, stream string, meanMbps, variability float64) *ARRateSource {
+	return &ARRateSource{
+		MeanBps: meanMbps * 1e6,
+		Sigma:   variability,
+		Rho:     0.9,
+		Epoch:   100 * time.Millisecond,
+		rng:     sim.RNG(stream),
+	}
+}
+
+// rate returns the instantaneous rate after advancing the AR process to
+// the epoch containing t.
+func (s *ARRateSource) rate(t time.Duration) float64 {
+	epoch := int64(t / s.Epoch)
+	for s.lastEpoch < epoch {
+		// Innovation variance chosen so the stationary stddev is Sigma.
+		innov := s.Sigma * math.Sqrt(1-s.Rho*s.Rho)
+		s.logDev = s.Rho*s.logDev + innov*s.rng.NormFloat64()
+		s.lastEpoch++
+	}
+	// exp(-Sigma^2/2) corrects the lognormal mean back to MeanBps.
+	r := s.MeanBps * math.Exp(s.logDev-s.Sigma*s.Sigma/2)
+	if min := s.MeanBps * 0.05; r < min {
+		r = min // radios rarely drop to true zero; keep progress
+	}
+	return r
+}
+
+// Next implements netem.OpportunitySource: MTU-sized slots spaced by
+// the current instantaneous rate.
+func (s *ARRateSource) Next(after time.Duration) time.Duration {
+	r := s.rate(after)
+	gap := time.Duration(float64(netem.MTU*8) / r * float64(time.Second))
+	if gap <= 0 {
+		gap = time.Microsecond
+	}
+	return after + gap
+}
+
+// BuildIface constructs a duplex interface for a path profile. With
+// Variability == 0 it uses constant-rate links; otherwise trace-style
+// VarLinks driven by independent AR rate processes per direction.
+func BuildIface(sim *simnet.Sim, name string, p PathProfile) *netem.Iface {
+	mk := func(dir string, mbps float64) netem.Link {
+		cfg := netem.LinkConfig{
+			PropDelay:  p.OWD(),
+			QueueLimit: p.queue(),
+			LossProb:   p.LossPct / 100,
+			RNG:        sim.RNG("phy/loss/" + name + "/" + dir),
+		}
+		if p.Variability <= 0 {
+			return netem.NewFixedLink(sim, mbps, cfg)
+		}
+		src := NewARRateSource(sim, "phy/rate/"+name+"/"+dir, mbps, p.Variability)
+		return netem.NewVarLink(sim, src, cfg)
+	}
+	up := mk("up", p.UpMbps)
+	down := mk("down", p.DownMbps)
+	iface := netem.NewIface(sim, name, up, down)
+	if p.PromotionMs > 0 {
+		idle := p.PromotionIdleSecs
+		if idle <= 0 {
+			idle = 10
+		}
+		iface.SetPromotion(
+			time.Duration(p.PromotionMs*float64(time.Millisecond)),
+			time.Duration(idle*float64(time.Second)))
+	}
+	return iface
+}
+
+// Condition is one emulated network condition: a WiFi profile and an
+// LTE profile, as used for a measurement run or a replay.
+type Condition struct {
+	Name string
+	WiFi PathProfile
+	LTE  PathProfile
+}
+
+// BuildHost wires a two-interface client host ("wifi", "lte") for the
+// condition.
+func BuildHost(sim *simnet.Sim, c Condition) *netem.Host {
+	h := netem.NewHost("client")
+	h.Attach(BuildIface(sim, "wifi", c.WiFi))
+	h.Attach(BuildIface(sim, "lte", c.LTE))
+	return h
+}

@@ -1,0 +1,172 @@
+package replay
+
+import (
+	"testing"
+	"time"
+
+	"multinet/internal/apps"
+	"multinet/internal/phy"
+)
+
+// fastCond is a clean, fast symmetric condition for functional tests.
+var fastCond = phy.Condition{
+	Name: "fast",
+	WiFi: phy.PathProfile{DownMbps: 20, UpMbps: 8, RTTms: 30},
+	LTE:  phy.PathProfile{DownMbps: 15, UpMbps: 6, RTTms: 60},
+}
+
+// slowWiFiCond has much better LTE than WiFi.
+var slowWiFiCond = phy.Condition{
+	Name: "slowwifi",
+	WiFi: phy.PathProfile{DownMbps: 1.2, UpMbps: 0.6, RTTms: 110},
+	LTE:  phy.PathProfile{DownMbps: 10, UpMbps: 4, RTTms: 65},
+}
+
+func TestRecordingStoresAllPairs(t *testing.T) {
+	rec := Record(apps.CNNLaunch)
+	if rec.Pairs() != len(apps.CNNLaunch.Flows) {
+		t.Fatalf("stored %d pairs, want %d", rec.Pairs(), len(apps.CNNLaunch.Flows))
+	}
+	f := apps.CNNLaunch.Flows[0]
+	ex, ok := rec.Lookup(f.ID, f.RequestBytes)
+	if !ok || ex.ResponseBytes != f.ResponseBytes {
+		t.Fatal("lookup of recorded request failed")
+	}
+	if _, ok := rec.Lookup(999, 1); ok {
+		t.Fatal("lookup of unknown request should fail")
+	}
+}
+
+func TestReplayTCPCompletes(t *testing.T) {
+	rec := Record(apps.CNNLaunch)
+	res := Run(1, fastCond, rec, TransportConfig{Name: "WiFi-TCP", Kind: SinglePath, Iface: "wifi"})
+	if !res.Completed {
+		t.Fatal("replay did not complete")
+	}
+	if res.ResponseTime <= 0 {
+		t.Fatal("bad response time")
+	}
+	if len(res.Flows) != len(apps.CNNLaunch.Flows) {
+		t.Fatalf("flow stats = %d, want %d", len(res.Flows), len(apps.CNNLaunch.Flows))
+	}
+}
+
+func TestReplayMPTCPCompletes(t *testing.T) {
+	rec := Record(apps.CNNLaunch)
+	res := Run(1, fastCond, rec, TransportConfig{
+		Name: "MPTCP-Decoupled-WiFi", Kind: Multipath, Primary: "wifi",
+	})
+	if !res.Completed {
+		t.Fatal("MPTCP replay did not complete")
+	}
+}
+
+func TestAllStandardConfigsComplete(t *testing.T) {
+	rec := Record(apps.DropboxClick)
+	for _, tc := range StandardConfigs() {
+		res := Run(2, fastCond, rec, tc)
+		if !res.Completed {
+			t.Fatalf("%s: replay incomplete", tc.Name)
+		}
+	}
+}
+
+func TestSinglePathNetworkChoiceMatters(t *testing.T) {
+	// On a condition where LTE is much faster, LTE-TCP must beat
+	// WiFi-TCP substantially (paper Fig. 18, conditions 3/4).
+	rec := Record(apps.CNNLaunch)
+	wifi := Run(3, slowWiFiCond, rec, TransportConfig{Name: "WiFi-TCP", Kind: SinglePath, Iface: "wifi"})
+	lte := Run(3, slowWiFiCond, rec, TransportConfig{Name: "LTE-TCP", Kind: SinglePath, Iface: "lte"})
+	if !wifi.Completed || !lte.Completed {
+		t.Fatal("replays incomplete")
+	}
+	if float64(wifi.ResponseTime) < 1.5*float64(lte.ResponseTime) {
+		t.Fatalf("WiFi-TCP %v should be >> LTE-TCP %v here", wifi.ResponseTime, lte.ResponseTime)
+	}
+}
+
+func TestLongFlowAppBenefitsFromMPTCP(t *testing.T) {
+	// Paper Section 5.2: with comparable paths, the Dropbox (long-flow)
+	// replay over MPTCP beats the best single path.
+	cond := phy.Condition{
+		Name: "comparable",
+		WiFi: phy.PathProfile{DownMbps: 6, UpMbps: 2.5, RTTms: 45},
+		LTE:  phy.PathProfile{DownMbps: 5, UpMbps: 2, RTTms: 70},
+	}
+	rec := Record(apps.DropboxClick)
+	best := time.Duration(1<<62 - 1)
+	for _, name := range []string{"wifi", "lte"} {
+		r := Run(4, cond, rec, TransportConfig{Name: name, Kind: SinglePath, Iface: name})
+		if !r.Completed {
+			t.Fatal("incomplete")
+		}
+		if r.ResponseTime < best {
+			best = r.ResponseTime
+		}
+	}
+	mp := Run(4, cond, rec, TransportConfig{
+		Name: "MPTCP-Decoupled-WiFi", Kind: Multipath, Primary: "wifi",
+	})
+	if !mp.Completed {
+		t.Fatal("MPTCP incomplete")
+	}
+	if mp.ResponseTime >= best {
+		t.Fatalf("MPTCP %v not better than best single path %v on the long-flow app", mp.ResponseTime, best)
+	}
+}
+
+func TestShortFlowAppGainsLittleFromMPTCP(t *testing.T) {
+	// Paper Section 5.1: for the short-flow app, MPTCP on the right
+	// primary is no better than simply using the right network.
+	rec := Record(apps.CNNLaunch)
+	lteTCP := Run(5, slowWiFiCond, rec, TransportConfig{Name: "LTE-TCP", Kind: SinglePath, Iface: "lte"})
+	mp := Run(5, slowWiFiCond, rec, TransportConfig{
+		Name: "MPTCP-Decoupled-LTE", Kind: Multipath, Primary: "lte",
+	})
+	if !lteTCP.Completed || !mp.Completed {
+		t.Fatal("incomplete")
+	}
+	// MPTCP should not be more than ~15% better than the right single
+	// path (it may well be slightly worse).
+	if float64(mp.ResponseTime) < 0.85*float64(lteTCP.ResponseTime) {
+		t.Fatalf("MPTCP %v unexpectedly much faster than LTE-TCP %v on short flows",
+			mp.ResponseTime, lteTCP.ResponseTime)
+	}
+}
+
+func TestDependentFlowsStartAfterParents(t *testing.T) {
+	rec := Record(apps.CNNLaunch)
+	res := Run(6, fastCond, rec, TransportConfig{Name: "WiFi-TCP", Kind: SinglePath, Iface: "wifi"})
+	byID := map[int]FlowStat{}
+	for _, f := range res.Flows {
+		byID[f.ID] = f
+	}
+	for _, spec := range apps.CNNLaunch.Flows {
+		if spec.DependsOn < 0 {
+			continue
+		}
+		parent := byID[spec.DependsOn]
+		child := byID[spec.ID]
+		if child.Start < parent.End {
+			t.Fatalf("flow %d started at %v before parent %d ended at %v",
+				spec.ID, child.Start, spec.DependsOn, parent.End)
+		}
+	}
+}
+
+func TestReplayDeterministic(t *testing.T) {
+	rec := Record(apps.IMDBClick)
+	tc := TransportConfig{Name: "MPTCP-Coupled-WiFi", Kind: Multipath, Primary: "wifi", CC: 1}
+	a := Run(7, fastCond, rec, tc)
+	b := Run(7, fastCond, rec, tc)
+	if a.ResponseTime != b.ResponseTime {
+		t.Fatalf("non-deterministic replay: %v vs %v", a.ResponseTime, b.ResponseTime)
+	}
+}
+
+func TestFlowStatRate(t *testing.T) {
+	f := FlowStat{Start: 0, End: time.Second, Bytes: 125_000}
+	if got := f.RateKbps(); got < 999 || got > 1001 {
+		t.Fatalf("rate = %.1f kbit/s, want 1000", got)
+	}
+}

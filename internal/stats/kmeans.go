@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// GeoPoint is a latitude/longitude pair in degrees.
+type GeoPoint struct {
+	Lat, Lon float64
+}
+
+// HaversineKm returns the great-circle distance between two points in
+// kilometres (Earth radius 6371 km).
+func HaversineKm(a, b GeoPoint) float64 {
+	const earthRadiusKm = 6371.0
+	lat1 := a.Lat * math.Pi / 180
+	lat2 := b.Lat * math.Pi / 180
+	dLat := (b.Lat - a.Lat) * math.Pi / 180
+	dLon := (b.Lon - a.Lon) * math.Pi / 180
+	s := math.Sin(dLat/2)*math.Sin(dLat/2) +
+		math.Cos(lat1)*math.Cos(lat2)*math.Sin(dLon/2)*math.Sin(dLon/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(s)))
+}
+
+// GeoCluster is a group of points within a fixed radius of a centroid,
+// as produced by ClusterByRadius.
+type GeoCluster struct {
+	Centroid GeoPoint
+	Members  []int // indices into the input slice
+}
+
+// ClusterByRadius groups points using the paper's Table 1 method: a
+// k-means-style radius clustering where every member of a group lies
+// within radiusKm of the group centroid (so any two members are within
+// 2*radiusKm of each other). The paper uses r = 100 km.
+//
+// The algorithm is a deterministic greedy sequential leader clustering
+// followed by centroid refinement — it needs no k and is stable for the
+// fixed input orders used in the experiments.
+func ClusterByRadius(points []GeoPoint, radiusKm float64) []GeoCluster {
+	var clusters []GeoCluster
+	for i, p := range points {
+		best := -1
+		bestDist := math.Inf(1)
+		for c := range clusters {
+			d := HaversineKm(clusters[c].Centroid, p)
+			if d <= radiusKm && d < bestDist {
+				best = c
+				bestDist = d
+			}
+		}
+		if best < 0 {
+			clusters = append(clusters, GeoCluster{Centroid: p, Members: []int{i}})
+			continue
+		}
+		cl := &clusters[best]
+		cl.Members = append(cl.Members, i)
+		// Refine the centroid as the running mean. For the sub-degree
+		// spans involved a planar mean is accurate enough.
+		n := float64(len(cl.Members))
+		cl.Centroid.Lat += (p.Lat - cl.Centroid.Lat) / n
+		cl.Centroid.Lon += (p.Lon - cl.Centroid.Lon) / n
+	}
+	// Sort clusters by descending size for stable presentation, matching
+	// Table 1's "ordered by number of runs" layout.
+	sort.SliceStable(clusters, func(i, j int) bool {
+		return len(clusters[i].Members) > len(clusters[j].Members)
+	})
+	return clusters
+}

@@ -1,0 +1,133 @@
+// Package tcp implements a userspace TCP over the netem substrate: the
+// three-way handshake, cumulative ACKs with out-of-order reassembly,
+// NewReno congestion control (slow start, congestion avoidance, fast
+// retransmit/recovery), RFC 6298 retransmission timeouts with Karn's
+// algorithm, and FIN teardown.
+//
+// It stands in for the Linux 3.11 kernel TCP used in the paper. The
+// parts of TCP that the paper's findings depend on — handshake latency,
+// slow-start dominance of short flows, loss recovery, and steady-state
+// Reno behaviour — are implemented per-segment. Parts that do not
+// affect the reproduced results are deliberately simplified and noted
+// where they occur: there is no delayed ACK (ACK-every-segment keeps
+// runs deterministic), no SACK (NewReno recovery only), no Nagle, and
+// receive windows are large and fixed (flow control is exercised at the
+// MPTCP connection level where the paper's effects live).
+//
+// The package exposes three extension points used by package mptcp:
+// a Source that supplies per-segment payload and options (DSS
+// mappings), an IncreaseFn that replaces the congestion-avoidance
+// increase (coupled LIA), and segment/ACK callbacks for connection-level
+// bookkeeping.
+package tcp
+
+import (
+	"fmt"
+	"strings"
+)
+
+const (
+	// MSS is the maximum segment payload in bytes. With 40 bytes of
+	// IP+TCP header this fills a 1500-byte MTU.
+	MSS = 1460
+	// HeaderSize is the IP+TCP header overhead per segment in bytes.
+	HeaderSize = 40
+	// OptionSize is the extra wire overhead carried by segments with a
+	// non-nil Opt (MPTCP DSS and friends average ~20 bytes).
+	OptionSize = 20
+)
+
+// Flags is the TCP flag set carried by a Segment.
+type Flags uint8
+
+// Flag values.
+const (
+	FlagSYN Flags = 1 << iota
+	FlagACK
+	FlagFIN
+)
+
+// Has reports whether all flags in f2 are set.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// String renders flags tcpdump-style, e.g. "S", "S.", "F.", ".".
+func (f Flags) String() string {
+	var b strings.Builder
+	if f.Has(FlagSYN) {
+		b.WriteByte('S')
+	}
+	if f.Has(FlagFIN) {
+		b.WriteByte('F')
+	}
+	if f.Has(FlagACK) {
+		b.WriteByte('.')
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
+
+// Segment is one TCP segment. Sequence numbers are byte offsets from 0
+// (64-bit, so wraparound never occurs in simulation). Payload bytes are
+// represented by count only — the simulator never materialises data.
+type Segment struct {
+	// Flow identifies the connection (and, under MPTCP, the subflow).
+	// It plays the role of the 4-tuple.
+	Flow string
+	// Flags carries SYN/ACK/FIN.
+	Flags Flags
+	// Seq is the sequence number of the first payload byte (or of the
+	// SYN/FIN when those flags are set and PayloadLen is 0).
+	Seq uint64
+	// Ack is the cumulative acknowledgement (valid when FlagACK).
+	Ack uint64
+	// PayloadLen is the number of payload bytes.
+	PayloadLen int
+	// Wnd is the advertised receive window in bytes.
+	Wnd int
+	// Sack carries selective-acknowledgement blocks: the receiver's
+	// out-of-order intervals (up to MaxSackBlocks).
+	Sack []SackBlock
+	// Opt carries transport options (MPTCP DSS etc.); nil for plain TCP.
+	Opt any
+}
+
+// SackBlock is one selective-acknowledgement interval [Lo, Hi).
+type SackBlock struct{ Lo, Hi uint64 }
+
+// MaxSackBlocks is the maximum number of SACK blocks carried per
+// segment, as in real TCP option space.
+const MaxSackBlocks = 4
+
+// SeqEnd returns the sequence number after this segment, counting SYN
+// and FIN as one unit each.
+func (s *Segment) SeqEnd() uint64 {
+	end := s.Seq + uint64(s.PayloadLen)
+	if s.Flags.Has(FlagSYN) || s.Flags.Has(FlagFIN) {
+		end++
+	}
+	return end
+}
+
+// WireSize returns the on-the-wire size in bytes.
+func (s *Segment) WireSize() int {
+	sz := HeaderSize + s.PayloadLen
+	if s.Opt != nil {
+		sz += OptionSize
+	}
+	if n := len(s.Sack); n > 0 {
+		sz += 2 + 8*n
+	}
+	return sz
+}
+
+// String renders the segment for captures and debugging.
+func (s *Segment) String() string {
+	opt := ""
+	if s.Opt != nil {
+		opt = fmt.Sprintf(" opt=%v", s.Opt)
+	}
+	return fmt.Sprintf("%s [%s] seq=%d ack=%d len=%d%s",
+		s.Flow, s.Flags, s.Seq, s.Ack, s.PayloadLen, opt)
+}
