@@ -1,273 +1,72 @@
 package multinet_test
 
-// One benchmark per table and figure of the paper (see DESIGN.md's
-// per-experiment index), plus the ablation benches. Each benchmark
-// executes the same experiments.* harness that cmd/report uses and
-// reports the experiment's headline quantities as custom metrics, so
+// Registry-driven benchmarks: one sub-benchmark per registered
+// experiment (the same engine.All() set cmd/report iterates — see
+// EXPERIMENTS.md for the per-experiment index), so
 //
 //	go test -bench=. -benchmem
 //
-// regenerates the full evaluation. Run with -v to see the rendered
-// tables and figure data.
+// regenerates the full evaluation with no hand-maintained list. Run
+// with -v to see the rendered tables and figure data; for
+// machine-readable headline quantities use `go run ./cmd/report -json`
+// (the registry replaces the old per-benchmark ReportMetric tables).
+//
+// BenchmarkParallelSpeedup measures the engine sweep runner's
+// parallel-vs-sequential wall-time ratio on a multi-trial experiment;
+// on an N-core machine it should approach N for sweep-heavy harnesses.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"multinet/internal/experiments"
+	"multinet/internal/experiments/engine"
 )
 
 // benchOpts keeps bench runtime moderate while exercising the full
 // pipeline; cmd/report runs the same harnesses with full options.
-func benchOpts() experiments.Options {
-	return experiments.Options{Trials: 1}
+func benchOpts() engine.Options {
+	return engine.Options{Trials: 1}
 }
 
-func BenchmarkTable1Campaign(b *testing.B) {
-	var r experiments.Table1Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Table1(benchOpts())
+func BenchmarkExperiments(b *testing.B) {
+	for _, e := range engine.All() {
+		b.Run(e.Meta.Name, func(b *testing.B) {
+			var out fmt.Stringer
+			for i := 0; i < b.N; i++ {
+				out = e.Run(benchOpts())
+			}
+			b.Log("\n" + out.String())
+		})
 	}
-	b.ReportMetric(float64(len(r.Rows)), "clusters")
-	b.ReportMetric(float64(r.TotalRuns), "runs")
-	b.Log("\n" + r.String())
 }
 
-func BenchmarkTable2Locations(b *testing.B) {
-	var r experiments.Table2Result
+// BenchmarkParallelSpeedup runs a sweep-heavy experiment (Figure 8:
+// locations × trials × two MPTCP configurations) once sequentially and
+// once on the full worker pool per iteration, and reports the wall-time
+// ratio as the "speedup-x" metric. The outputs are verified identical,
+// so the metric measures pure scheduling gain; expect ≥2x on 4+ cores
+// (and ~1x on a single-core machine, where there is nothing to gain).
+func BenchmarkParallelSpeedup(b *testing.B) {
+	o := engine.Options{Trials: 2}
+	var seqTotal, parTotal time.Duration
 	for i := 0; i < b.N; i++ {
-		r = experiments.Table2(benchOpts())
-	}
-	b.ReportMetric(float64(len(r.Locations)), "locations")
-	b.Log("\n" + r.String())
-}
+		start := time.Now()
+		seq := experiments.Figure8(o.Serial())
+		seqTotal += time.Since(start)
 
-func BenchmarkFigure3ThroughputCDF(b *testing.B) {
-	var r experiments.Figure3Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure3(benchOpts())
-	}
-	b.ReportMetric(r.LTEWinUp*100, "uplink-win-%")
-	b.ReportMetric(r.LTEWinDown*100, "downlink-win-%")
-	b.ReportMetric(r.Combined*100, "combined-win-%")
-	b.Log("\n" + r.String())
-}
+		start = time.Now()
+		par := experiments.Figure8(o)
+		parTotal += time.Since(start)
 
-func BenchmarkFigure4RTTCDF(b *testing.B) {
-	var r experiments.Figure4Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure4(benchOpts())
-	}
-	b.ReportMetric(r.LTELowerRTT*100, "lte-lower-rtt-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure6TwentyLocationCDF(b *testing.B) {
-	var r experiments.Figure6Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure6(benchOpts())
-	}
-	b.ReportMetric(r.MedianGapDown, "median-gap-down-mbps")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure7ThroughputVsFlowSize(b *testing.B) {
-	var r experiments.Figure7Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure7(benchOpts())
-	}
-	b.ReportMetric(float64(len(r.SeriesA)+len(r.SeriesB)), "series")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure8PrimaryFlowCDF(b *testing.B) {
-	var r experiments.Figure8Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure8(benchOpts())
-	}
-	b.ReportMetric(r.MedianPct["10KB"], "median-10KB-%")
-	b.ReportMetric(r.MedianPct["100KB"], "median-100KB-%")
-	b.ReportMetric(r.MedianPct["1MB"], "median-1MB-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure9EvolutionLTEBetter(b *testing.B) {
-	var r experiments.Figure9Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure9(benchOpts())
-	}
-	b.ReportMetric(r.LTEPrimary.FinalMbps, "lte-primary-mbps")
-	b.ReportMetric(r.WiFiPrimary.FinalMbps, "wifi-primary-mbps")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure10EvolutionWiFiBetter(b *testing.B) {
-	var r experiments.Figure10Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure10(benchOpts())
-	}
-	b.ReportMetric(r.WiFiPrimary.FinalMbps, "wifi-primary-mbps")
-	b.ReportMetric(r.LTEPrimary.FinalMbps, "lte-primary-mbps")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure11FlowSizeLTEBetter(b *testing.B) {
-	var r experiments.FlowSizeSweepResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure11(benchOpts())
-	}
-	b.ReportMetric(r.Ratio[0], "ratio-100KB")
-	b.ReportMetric(r.Ratio[len(r.Ratio)-1], "ratio-1MB")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure12FlowSizeWiFiBetter(b *testing.B) {
-	var r experiments.FlowSizeSweepResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure12(benchOpts())
-	}
-	b.ReportMetric(r.Ratio[0], "ratio-100KB")
-	b.ReportMetric(r.Ratio[len(r.Ratio)-1], "ratio-1MB")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure13CongestionControlCDF(b *testing.B) {
-	var r experiments.CouplingResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Coupling(benchOpts())
-	}
-	b.ReportMetric(r.CCMedianPct["10KB"], "cc-median-10KB-%")
-	b.ReportMetric(r.CCMedianPct["1MB"], "cc-median-1MB-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure14NetworkVsCC(b *testing.B) {
-	var r experiments.CouplingResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Coupling(benchOpts())
-	}
-	b.ReportMetric(r.NetworkMedianPct["10KB"], "net-median-10KB-%")
-	b.ReportMetric(r.NetworkMedianPct["1MB"], "net-median-1MB-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure15BackupPatterns(b *testing.B) {
-	var r experiments.Figure15Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure15(benchOpts())
-	}
-	completed := 0
-	for _, p := range r.Panels {
-		if p.Completed {
-			completed++
+		if seq.String() != par.String() {
+			b.Fatal("parallel output differs from sequential")
 		}
 	}
-	b.ReportMetric(float64(completed), "panels-completed")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure16PowerTraces(b *testing.B) {
-	var r experiments.Figure16Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure16(benchOpts())
-	}
-	b.ReportMetric(r.Panels[0].PeakWatts, "lte-active-peak-W")
-	b.ReportMetric(r.Panels[2].TailSecs, "lte-backup-tail-s")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkEnergyBackupSavings(b *testing.B) {
-	var r experiments.EnergyBackupResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.EnergyBackup(benchOpts())
-	}
-	b.ReportMetric(r.BreakEvenSecs, "breakeven-s")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure17TrafficPatterns(b *testing.B) {
-	var r experiments.Figure17Result
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure17(benchOpts())
-	}
-	b.ReportMetric(float64(len(r.Rows)), "patterns")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure18CNNResponse(b *testing.B) {
-	var r experiments.ResponseTimeResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure18(benchOpts())
-	}
-	b.ReportMetric(r.Secs[0][0], "nc1-wifi-tcp-s")
-	b.ReportMetric(r.Secs[0][1], "nc1-lte-tcp-s")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure19CNNOracles(b *testing.B) {
-	var r experiments.OracleResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure19(benchOpts())
-	}
-	b.ReportMetric(r.Normalized["Single-Path-TCP Oracle"], "single-path-norm")
-	b.ReportMetric(r.Normalized["Decoupled-MPTCP Oracle"], "decoupled-norm")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure20DropboxResponse(b *testing.B) {
-	var r experiments.ResponseTimeResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure20(benchOpts())
-	}
-	b.ReportMetric(r.Secs[0][0], "nc1-wifi-tcp-s")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkFigure21DropboxOracles(b *testing.B) {
-	var r experiments.OracleResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.Figure21(benchOpts())
-	}
-	b.ReportMetric(r.Normalized["Single-Path-TCP Oracle"], "single-path-norm")
-	b.ReportMetric(r.Normalized["Decoupled-MPTCP Oracle"], "decoupled-norm")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkAblationJoinDelay(b *testing.B) {
-	var r experiments.AblationJoinResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.AblationJoinDelay(benchOpts())
-	}
-	b.ReportMetric(r.MedianPctSequential, "sequential-%")
-	b.ReportMetric(r.MedianPctSimultaneous, "simultaneous-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkAblationScheduler(b *testing.B) {
-	var r experiments.AblationSchedulerResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.AblationScheduler(benchOpts())
-	}
-	b.ReportMetric(r.MinRTTMbps, "min-srtt-mbps")
-	b.ReportMetric(r.RoundRobinMbps, "round-robin-mbps")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkAblationTailTime(b *testing.B) {
-	var r experiments.AblationTailResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.AblationTailTime(benchOpts())
-	}
-	b.ReportMetric(r.SavingPct[0], "zero-tail-saving-%")
-	b.ReportMetric(r.SavingPct[2], "15s-tail-saving-%")
-	b.Log("\n" + r.String())
-}
-
-func BenchmarkAblationSelector(b *testing.B) {
-	var r experiments.AblationSelectorResult
-	for i := 0; i < b.N; i++ {
-		r = experiments.AblationSelector(benchOpts())
-	}
-	b.ReportMetric(r.MeanFCT["adaptive-selector"], "adaptive-fct-s")
-	b.ReportMetric(r.MeanFCT["always-wifi"], "always-wifi-fct-s")
-	b.Log("\n" + r.String())
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ReportMetric(seqTotal.Seconds()/float64(b.N), "seq-s/op")
+	b.ReportMetric(parTotal.Seconds()/float64(b.N), "par-s/op")
+	b.ReportMetric(seqTotal.Seconds()/parTotal.Seconds(), "speedup-x")
 }

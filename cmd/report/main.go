@@ -3,70 +3,108 @@
 // prints their outputs in paper order. Its output is the source for
 // EXPERIMENTS.md.
 //
+// The experiment list comes from the engine registry (every harness in
+// internal/experiments registers itself), so this command needs no
+// hand-maintained table and automatically picks up new experiments.
+//
 // Usage:
 //
-//	report [-seed N] [-quick]
+//	report [-seed N] [-quick] [-par N] [-only name[,name...]] [-json] [-list]
 //
 // -quick runs the reduced test-sized sweeps (useful to smoke-test the
 // pipeline; the recorded numbers in EXPERIMENTS.md use the full runs).
+// -par sets the sweep worker-pool size (default GOMAXPROCS); results
+// are bit-identical at any worker count. -only selects experiments by
+// registry name (see -list). -json emits machine-readable results on
+// stdout. Per-experiment timing always streams to stderr.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"os"
+	"strings"
 	"time"
 
-	"multinet/internal/experiments"
+	"multinet/internal/experiments" // importing registers every harness
+	"multinet/internal/experiments/engine"
 )
 
+type jsonResult struct {
+	Name    string  `json:"name"`
+	Title   string  `json:"title"`
+	Section string  `json:"section"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+}
+
 func main() {
-	seed := flag.Int64("seed", experiments.DefaultSeed, "RNG seed")
+	seed := flag.Int64("seed", engine.DefaultSeed, "RNG seed")
 	quick := flag.Bool("quick", false, "reduced sweeps")
+	par := flag.Int("par", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	only := flag.String("only", "", "comma-separated experiment names to run (default: all)")
+	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Parse()
 
-	o := experiments.Options{Seed: *seed}
+	if *list {
+		for _, e := range engine.All() {
+			fmt.Printf("%-20s %-22s section %s\n", e.Meta.Name, e.Meta.Title, e.Meta.Section)
+		}
+		return
+	}
+
+	o := engine.Options{Seed: *seed, Workers: *par}
 	if *quick {
 		o = experiments.Quick()
 		o.Seed = *seed
+		o.Workers = *par
 	}
 
-	type entry struct {
-		name string
-		run  func() fmt.Stringer
-	}
-	entries := []entry{
-		{"Table 1", func() fmt.Stringer { return experiments.Table1(o) }},
-		{"Figure 3", func() fmt.Stringer { return experiments.Figure3(o) }},
-		{"Figure 4", func() fmt.Stringer { return experiments.Figure4(o) }},
-		{"Table 2", func() fmt.Stringer { return experiments.Table2(o) }},
-		{"Figure 6", func() fmt.Stringer { return experiments.Figure6(o) }},
-		{"Figure 7", func() fmt.Stringer { return experiments.Figure7(o) }},
-		{"Figure 8", func() fmt.Stringer { return experiments.Figure8(o) }},
-		{"Figure 9", func() fmt.Stringer { return experiments.Figure9(o) }},
-		{"Figure 10", func() fmt.Stringer { return experiments.Figure10(o) }},
-		{"Figure 11", func() fmt.Stringer { return experiments.Figure11(o) }},
-		{"Figure 12", func() fmt.Stringer { return experiments.Figure12(o) }},
-		{"Figures 13/14", func() fmt.Stringer { return experiments.Coupling(o) }},
-		{"Figure 15", func() fmt.Stringer { return experiments.Figure15(o) }},
-		{"Figure 16", func() fmt.Stringer { return experiments.Figure16(o) }},
-		{"Section 3.6.2 energy", func() fmt.Stringer { return experiments.EnergyBackup(o) }},
-		{"Figure 17", func() fmt.Stringer { return experiments.Figure17(o) }},
-		{"Figure 18", func() fmt.Stringer { return experiments.Figure18(o) }},
-		{"Figure 19", func() fmt.Stringer { return experiments.Figure19(o) }},
-		{"Figure 20", func() fmt.Stringer { return experiments.Figure20(o) }},
-		{"Figure 21", func() fmt.Stringer { return experiments.Figure21(o) }},
-		{"Ablation: late join", func() fmt.Stringer { return experiments.AblationJoinDelay(o) }},
-		{"Ablation: scheduler", func() fmt.Stringer { return experiments.AblationScheduler(o) }},
-		{"Ablation: tail time", func() fmt.Stringer { return experiments.AblationTailTime(o) }},
-		{"Ablation: selector", func() fmt.Stringer { return experiments.AblationSelector(o) }},
+	todo := engine.All()
+	if *only != "" {
+		todo = todo[:0]
+		for _, name := range strings.Split(*only, ",") {
+			name = strings.TrimSpace(name)
+			e, ok := engine.Lookup(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; valid names: %s\n",
+					name, strings.Join(engine.Names(), ", "))
+				os.Exit(2)
+			}
+			todo = append(todo, e)
+		}
 	}
 
+	var results []jsonResult
 	total := time.Now()
-	for _, e := range entries {
+	for _, e := range todo {
 		start := time.Now()
-		out := e.run()
+		out := e.Run(o).String()
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "%-20s ran in %v\n", e.Meta.Name, elapsed.Round(time.Millisecond))
+		if *asJSON {
+			results = append(results, jsonResult{
+				Name:    e.Meta.Name,
+				Title:   e.Meta.Title,
+				Section: e.Meta.Section,
+				Seconds: elapsed.Seconds(),
+				Output:  out,
+			})
+			continue
+		}
 		fmt.Printf("==================== %s (ran in %v) ====================\n%s\n",
-			e.name, time.Since(start).Round(time.Millisecond), out)
+			e.Meta.Title, elapsed.Round(time.Millisecond), out)
 	}
-	fmt.Printf("report complete in %v\n", time.Since(total).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "report complete in %v (%d experiments, %d workers)\n",
+		time.Since(total).Round(time.Millisecond), len(todo), o.WorkerCount())
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintln(os.Stderr, "encoding results:", err)
+			os.Exit(1)
+		}
+	}
 }

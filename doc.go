@@ -21,6 +21,8 @@
 //     replay harness and the app traffic models
 //   - internal/oracle: the Section 5 oracle schemes
 //   - internal/experiments: one harness per table/figure
+//   - internal/experiments/engine: the experiment registry and the
+//     deterministic parallel trial-sweep runner
 //   - internal/core: the public Session/Selector API
 //
 // See DESIGN.md for the system inventory and per-experiment index, and

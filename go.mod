@@ -1,0 +1,3 @@
+module multinet
+
+go 1.24

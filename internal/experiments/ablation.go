@@ -6,10 +6,18 @@ import (
 
 	"multinet/internal/core"
 	"multinet/internal/energy"
+	"multinet/internal/experiments/engine"
 	"multinet/internal/phy"
 	"multinet/internal/simnet"
 	"multinet/internal/stats"
 )
+
+func init() {
+	register("ablation-join", "Ablation: late join", "D.1", 21, func(o Options) fmt.Stringer { return AblationJoinDelay(o) })
+	register("ablation-scheduler", "Ablation: scheduler", "D.2", 22, func(o Options) fmt.Stringer { return AblationScheduler(o) })
+	register("ablation-tail", "Ablation: tail time", "D.3", 23, func(o Options) fmt.Stringer { return AblationTailTime(o) })
+	register("ablation-selector", "Ablation: selector", "D.4", 24, func(o Options) fmt.Stringer { return AblationSelector(o) })
+}
 
 // AblationJoinResult tests the design claim that the late MP_JOIN
 // drives short-flow MPTCP's sensitivity to the primary network
@@ -33,29 +41,19 @@ type AblationJoinResult struct {
 func AblationJoinDelay(o Options) AblationJoinResult {
 	const size = 10 << 10
 	measure := func(simultaneous bool) float64 {
-		var rel []float64
-		n := o.locations(len(phy.Locations))
-		trials := o.trials(2)
-		for i := 0; i < n; i++ {
+		n := o.LocationCount(len(phy.Locations))
+		trials := o.TrialCount(2)
+		rel := relDiffGrid(o, n, trials, func(i, t int) (float64, float64) {
 			loc := phy.Locations[i]
-			for t := 0; t < trials; t++ {
-				seed := seedFor(o.seed(), 771, loc.ID, t, boolInt(simultaneous))
-				lte := measureMbps(seed, loc.Condition(), core.Config{
-					Transport: core.MPTCP, Primary: "lte", SimultaneousJoin: simultaneous,
-				}, core.Download, size, 1)
-				wifi := measureMbps(seed+1, loc.Condition(), core.Config{
-					Transport: core.MPTCP, Primary: "wifi", SimultaneousJoin: simultaneous,
-				}, core.Download, size, 1)
-				if lte <= 0 || wifi <= 0 {
-					continue
-				}
-				d := (lte - wifi) / wifi
-				if d < 0 {
-					d = -d
-				}
-				rel = append(rel, d*100)
-			}
-		}
+			seed := seedFor(o.BaseSeed(), 771, loc.ID, t, boolInt(simultaneous))
+			lte := measureMbps(o.Serial(), seed, loc.Condition(), core.Config{
+				Transport: core.MPTCP, Primary: "lte", SimultaneousJoin: simultaneous,
+			}, core.Download, size, 1)
+			wifi := measureMbps(o.Serial(), seed+1, loc.Condition(), core.Config{
+				Transport: core.MPTCP, Primary: "wifi", SimultaneousJoin: simultaneous,
+			}, core.Download, size, 1)
+			return lte, wifi
+		})
 		return stats.Median(rel)
 	}
 	return AblationJoinResult{
@@ -90,11 +88,13 @@ type AblationSchedulerResult struct {
 // AblationScheduler measures 1 MB MPTCP downloads with each scheduler.
 func AblationScheduler(o Options) AblationSchedulerResult {
 	loc := phy.LocLTEMuchBetter
-	trials := o.trials(5)
+	trials := o.TrialCount(5)
+	// The trials themselves are the only loop here, so they get the
+	// full worker pool.
 	return AblationSchedulerResult{
-		MinRTTMbps: measureMbps(seedFor(o.seed(), 772, 0), loc.Condition(),
+		MinRTTMbps: measureMbps(o, seedFor(o.BaseSeed(), 772, 0), loc.Condition(),
 			core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, 1<<20, trials),
-		RoundRobinMbps: measureMbps(seedFor(o.seed(), 772, 1), loc.Condition(),
+		RoundRobinMbps: measureMbps(o, seedFor(o.BaseSeed(), 772, 1), loc.Condition(),
 			core.Config{Transport: core.MPTCP, Primary: "lte", RoundRobin: true}, core.Download, 1<<20, trials),
 	}
 }
@@ -117,18 +117,20 @@ type AblationTailResult struct {
 func AblationTailTime(o Options) AblationTailResult {
 	res := AblationTailResult{}
 	const flow = 10 * time.Second
-	for _, tail := range []float64{0, 5, 15, 30} {
+	tails := []float64{0, 5, 15, 30}
+	savings := engine.Sweep(o, len(tails), func(i int) float64 {
+		tail := tails[i]
 		model := energy.LTE
 		model.TailDuration = time.Duration(tail * float64(time.Second))
 		horizon := flow + model.TailDuration + time.Second
 
-		simA := simnet.New(seedFor(o.seed(), 773, int(tail)))
+		simA := simnet.New(seedFor(o.BaseSeed(), 773, int(tail)))
 		backup := energy.NewMeter(simA, model)
 		backup.OnPacket()
 		simA.Schedule(flow, backup.OnPacket)
 		simA.RunUntil(horizon)
 
-		simB := simnet.New(seedFor(o.seed(), 774, int(tail)))
+		simB := simnet.New(seedFor(o.BaseSeed(), 774, int(tail)))
 		active := energy.NewMeter(simB, model)
 		for t := time.Duration(0); t <= flow; t += 20 * time.Millisecond {
 			tt := t
@@ -136,8 +138,11 @@ func AblationTailTime(o Options) AblationTailResult {
 		}
 		simB.RunUntil(horizon)
 
+		return (1 - backup.RadioJoules()/active.RadioJoules()) * 100
+	})
+	for i, tail := range tails {
 		res.TailSecs = append(res.TailSecs, tail)
-		res.SavingPct = append(res.SavingPct, (1-backup.RadioJoules()/active.RadioJoules())*100)
+		res.SavingPct = append(res.SavingPct, savings[i])
 	}
 	return res
 }
@@ -168,7 +173,7 @@ type AblationSelectorResult struct {
 // always-LTE and always-MPTCP.
 func AblationSelector(o Options) AblationSelectorResult {
 	sizes := []int{10 << 10, 100 << 10, 1 << 20, 4 << 20}
-	n := o.locations(len(phy.Locations))
+	n := o.LocationCount(len(phy.Locations))
 	policies := map[string]func(est core.Estimate, size int) core.Config{
 		"adaptive-selector": func(est core.Estimate, size int) core.Config {
 			return core.Selector{}.Choose(est, size)
@@ -183,24 +188,35 @@ func AblationSelector(o Options) AblationSelectorResult {
 			return core.Config{Transport: core.MPTCP, Primary: "wifi"}
 		},
 	}
-	sums := map[string]float64{}
-	counts := map[string]int{}
-	for i := 0; i < n; i++ {
+	type locTotals struct {
+		sums   map[string]float64
+		counts map[string]int
+	}
+	perLoc := engine.Sweep(o, n, func(i int) locTotals {
 		loc := phy.Locations[i]
-		probe := core.NewSession(seedFor(o.seed(), 775, loc.ID), loc.Condition())
+		lt := locTotals{sums: map[string]float64{}, counts: map[string]int{}}
+		probe := core.NewSession(seedFor(o.BaseSeed(), 775, loc.ID), loc.Condition())
 		est := probe.Probe()
 		for name, pick := range policies {
 			for si, size := range sizes {
-				s := core.NewSession(seedFor(o.seed(), 776, loc.ID, si), loc.Condition())
+				s := core.NewSession(seedFor(o.BaseSeed(), 776, loc.ID, si), loc.Condition())
 				r := s.Run(pick(est, size), core.Download, size)
 				if r.Completed {
-					sums[name] += r.FCT.Seconds()
-					counts[name]++
+					lt.sums[name] += r.FCT.Seconds()
 				} else {
-					sums[name] += s.Horizon.Seconds()
-					counts[name]++
+					lt.sums[name] += s.Horizon.Seconds()
 				}
+				lt.counts[name]++
 			}
+		}
+		return lt
+	})
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	for _, lt := range perLoc {
+		for name, sum := range lt.sums {
+			sums[name] += sum
+			counts[name] += lt.counts[name]
 		}
 	}
 	res := AblationSelectorResult{MeanFCT: map[string]float64{}}

@@ -1,0 +1,92 @@
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerCount returns the effective sweep pool size for o.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Sweep runs fn(i) for i in [0, n) across o's worker pool and returns
+// the results in index order. Each call must be independent of the
+// others (in this repository every trial builds its own simnet.Sim, so
+// that holds by construction); because results are placed by index,
+// the returned slice is identical at any worker count.
+func Sweep[T any](o Options, n int, fn func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	workers := o.WorkerCount()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = fn(i)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// Grid runs fn over the rows×cols cross product and returns the
+// results in row-major order — the same order as the nested
+//
+//	for i { for j { ... } }
+//
+// loops it replaces, so sequential reductions over the result see
+// samples in the historical order.
+func Grid[T any](o Options, rows, cols int, fn func(i, j int) T) []T {
+	if rows <= 0 || cols <= 0 {
+		return nil
+	}
+	return Sweep(o, rows*cols, func(k int) T {
+		return fn(k/cols, k%cols)
+	})
+}
+
+// RunTrials fans trials out over o's pool, giving trial t the seed
+// SeedFor(seed, t), and returns the mean of the positive results (0
+// when none) — the aggregation every throughput harness uses. The sum
+// is accumulated in trial order, so the mean is bit-identical to the
+// sequential loop regardless of worker count.
+func RunTrials(o Options, seed int64, trials int, fn func(seed int64) float64) float64 {
+	vals := Sweep(o, trials, func(t int) float64 {
+		return fn(SeedFor(seed, t))
+	})
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

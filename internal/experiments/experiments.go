@@ -7,50 +7,33 @@
 // Every harness takes an Options value so tests can run reduced
 // versions (fewer seeds, fewer locations) of the exact same code the
 // full report runs.
+//
+// Every harness also registers itself (via init) into the engine
+// registry — engine.All is the single source of truth for "what
+// experiments exist", iterated by cmd/report, the benchmarks and the
+// package tests. Harness inner loops run on the engine sweep runner
+// (engine.Sweep / engine.Grid / engine.RunTrials): independent trials
+// fan out across a worker pool and are reduced in trial-index order,
+// so parallel output is bit-identical to the sequential loops the
+// runner replaced.
 package experiments
 
 import (
 	"fmt"
 	"strings"
 	"time"
+
+	"multinet/internal/experiments/engine"
 )
 
 // DefaultSeed is the base seed for all experiments; per-run seeds
 // derive from it deterministically.
-const DefaultSeed = 2014
+const DefaultSeed = engine.DefaultSeed
 
-// Options scales an experiment.
-type Options struct {
-	// Seed is the base RNG seed (DefaultSeed when zero).
-	Seed int64
-	// Trials is the number of repetitions per measurement point
-	// (harness-specific default when zero).
-	Trials int
-	// Locations restricts location-sweep experiments to the first N
-	// of the paper's 20 sites (all when zero).
-	Locations int
-}
-
-func (o Options) seed() int64 {
-	if o.Seed == 0 {
-		return DefaultSeed
-	}
-	return o.Seed
-}
-
-func (o Options) trials(def int) int {
-	if o.Trials > 0 {
-		return o.Trials
-	}
-	return def
-}
-
-func (o Options) locations(max int) int {
-	if o.Locations > 0 && o.Locations < max {
-		return o.Locations
-	}
-	return max
-}
+// Options scales an experiment and bounds its parallelism; it is the
+// engine's option type, so harnesses pass it straight to the sweep
+// runner.
+type Options = engine.Options
 
 // Full returns the options used by cmd/report and the benches.
 func Full() Options { return Options{} }
@@ -58,13 +41,15 @@ func Full() Options { return Options{} }
 // Quick returns reduced options for unit tests.
 func Quick() Options { return Options{Trials: 1, Locations: 4} }
 
-// seedFor derives a per-measurement seed.
+// seedFor derives a per-measurement seed (see engine.SeedFor).
 func seedFor(base int64, parts ...int) int64 {
-	s := base
-	for _, p := range parts {
-		s = s*1000003 + int64(p) + 7919
-	}
-	return s
+	return engine.SeedFor(base, parts...)
+}
+
+// register adds a harness to the engine registry; the order argument
+// is the paper presentation order used by cmd/report.
+func register(name, title, section string, order int, run func(Options) fmt.Stringer) {
+	engine.Register(engine.Meta{Name: name, Title: title, Section: section, Order: order}, run)
 }
 
 // fmtDur renders a duration with millisecond precision.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
-	"fmt"
 	"math"
+	"runtime"
 	"strings"
 	"testing"
+
+	"multinet/internal/experiments/engine"
 )
 
 func TestTable1(t *testing.T) {
@@ -428,14 +430,54 @@ func TestAblationSelector(t *testing.T) {
 	}
 }
 
-func TestRenderersNonEmpty(t *testing.T) {
-	// Smoke-test every String renderer on tiny options.
-	o := Options{Trials: 1, Locations: 2}
-	for _, s := range []fmt.Stringer{
-		Table1(o), Figure3(o), Figure4(o), Table2(o),
-	} {
-		if len(s.String()) < 40 {
-			t.Errorf("renderer output too short: %T", s)
+func TestRegistryUniqueAndRunnable(t *testing.T) {
+	// Every harness must be registered exactly once — the registry is
+	// the single source of truth iterated by cmd/report and the
+	// benchmarks — and every registered experiment must run and render
+	// under Quick() options.
+	all := engine.All()
+	if len(all) != 24 {
+		t.Fatalf("registry holds %d experiments, want 24", len(all))
+	}
+	seen := map[string]bool{}
+	for _, e := range all {
+		if e.Meta.Name == "" || e.Meta.Title == "" {
+			t.Fatalf("experiment with empty metadata: %+v", e.Meta)
+		}
+		if seen[e.Meta.Name] {
+			t.Fatalf("duplicate experiment name %q", e.Meta.Name)
+		}
+		seen[e.Meta.Name] = true
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Meta.Order >= all[i].Meta.Order {
+			t.Fatalf("registry order not strictly increasing at %q", all[i].Meta.Name)
+		}
+	}
+	for _, e := range all {
+		t.Run(e.Meta.Name, func(t *testing.T) {
+			if out := e.Run(Quick()).String(); len(out) < 40 {
+				t.Errorf("renderer output too short (%d bytes)", len(out))
+			}
+		})
+	}
+}
+
+func TestSweepDeterminism(t *testing.T) {
+	// The sweep runner must produce byte-identical output at any worker
+	// count. Figure7 exercises the grid sweep plus nested trial sweeps;
+	// Coupling exercises the flattened three-deep nest with variable-
+	// length per-cell sample lists.
+	for _, workers := range []int{runtime.GOMAXPROCS(0), 8} {
+		o := Quick()
+		seq, par := o, o
+		seq.Workers = 1
+		par.Workers = workers
+		if a, b := Figure7(seq).String(), Figure7(par).String(); a != b {
+			t.Errorf("Figure7: %d-worker output differs from sequential", workers)
+		}
+		if a, b := Coupling(seq).String(), Coupling(par).String(); a != b {
+			t.Errorf("Coupling: %d-worker output differs from sequential", workers)
 		}
 	}
 }

@@ -9,6 +9,12 @@ import (
 	"multinet/internal/stats"
 )
 
+func init() {
+	register("table1", "Table 1", "2", 1, func(o Options) fmt.Stringer { return Table1(o) })
+	register("figure3", "Figure 3", "2.3", 2, func(o Options) fmt.Stringer { return Figure3(o) })
+	register("figure4", "Figure 4", "2.3", 3, func(o Options) fmt.Stringer { return Figure4(o) })
+}
+
 // Table1Result is the regenerated Table 1 (geographic clusters of the
 // crowd-sourced campaign).
 type Table1Result struct {
@@ -22,7 +28,7 @@ type Table1Result struct {
 // Table1 generates the synthetic campaign and regroups it with the
 // paper's k-means-style radius clustering (r = 100 km).
 func Table1(o Options) Table1Result {
-	c := dataset.Generate(simnet.New(o.seed()))
+	c := dataset.Generate(simnet.New(o.BaseSeed()))
 	rows := c.RegenerateTable1()
 	res := Table1Result{Rows: rows}
 	res.Filtered = len(c.Runs) - len(c.CompleteRuns())
@@ -88,7 +94,7 @@ type Figure3Result struct {
 
 // Figure3 computes the CDFs of Tput(WiFi)-Tput(LTE) over the campaign.
 func Figure3(o Options) Figure3Result {
-	c := dataset.Generate(simnet.New(o.seed()))
+	c := dataset.Generate(simnet.New(o.BaseSeed()))
 	up, down := c.DiffCDFs()
 	wu, wd, comb := c.WinFractions()
 	return Figure3Result{
@@ -118,7 +124,7 @@ type Figure4Result struct {
 
 // Figure4 computes the CDF of RTT(WiFi)-RTT(LTE) over the campaign.
 func Figure4(o Options) Figure4Result {
-	c := dataset.Generate(simnet.New(o.seed()))
+	c := dataset.Generate(simnet.New(o.BaseSeed()))
 	cdf := c.RTTDiffCDF()
 	return Figure4Result{
 		CDF:         sampleCDF(cdf, "RTT(WiFi)-RTT(LTE) (ms)", 40),

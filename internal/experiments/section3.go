@@ -8,12 +8,25 @@ import (
 	"multinet/internal/capture"
 	"multinet/internal/core"
 	"multinet/internal/dataset"
+	"multinet/internal/experiments/engine"
 	"multinet/internal/mptcp"
 	"multinet/internal/netem"
 	"multinet/internal/phy"
 	"multinet/internal/simnet"
 	"multinet/internal/stats"
 )
+
+func init() {
+	register("table2", "Table 2", "3.2", 4, func(o Options) fmt.Stringer { return Table2(o) })
+	register("figure6", "Figure 6", "3.2", 5, func(o Options) fmt.Stringer { return Figure6(o) })
+	register("figure7", "Figure 7", "3.3", 6, func(o Options) fmt.Stringer { return Figure7(o) })
+	register("figure8", "Figure 8", "3.4", 7, func(o Options) fmt.Stringer { return Figure8(o) })
+	register("figure9", "Figure 9", "3.4", 8, func(o Options) fmt.Stringer { return Figure9(o) })
+	register("figure10", "Figure 10", "3.4", 9, func(o Options) fmt.Stringer { return Figure10(o) })
+	register("figure11", "Figure 11", "3.4", 10, func(o Options) fmt.Stringer { return Figure11(o) })
+	register("figure12", "Figure 12", "3.4", 11, func(o Options) fmt.Stringer { return Figure12(o) })
+	register("coupling", "Figures 13/14", "3.5", 12, func(o Options) fmt.Stringer { return Coupling(o) })
+}
 
 // Table2Result is the 20-location table.
 type Table2Result struct{ Locations []phy.Location }
@@ -51,21 +64,43 @@ func standardConfigs() []core.Config {
 	}
 }
 
-// measureMbps runs trials sequential fresh-session downloads and
-// returns the mean throughput.
-func measureMbps(seed int64, cond phy.Condition, cfg core.Config, dir core.Direction, size, trials int) float64 {
-	sum, n := 0.0, 0
-	for t := 0; t < trials; t++ {
-		s := core.NewSession(seedFor(seed, t), cond)
-		if m := s.RunMbps(cfg, dir, size); m > 0 {
-			sum += m
-			n++
+// measureMbps fans trials fresh-session downloads out over o's sweep
+// pool and returns the mean throughput. Callers already inside a
+// parallel sweep pass o.Serial() so worker counts do not multiply.
+func measureMbps(o Options, seed int64, cond phy.Condition, cfg core.Config, dir core.Direction, size, trials int) float64 {
+	return engine.RunTrials(o, seed, trials, func(s int64) float64 {
+		return core.NewSession(s, cond).RunMbps(cfg, dir, size)
+	})
+}
+
+// relDiffGrid sweeps an n×trials grid where each cell measures a pair
+// of throughputs, and collects |a-b|/b as a percentage for the cells
+// where both measurements are positive, in row-major (historical
+// nesting) order. Shared by the Fig. 8 sweep and the late-join
+// ablation.
+func relDiffGrid(o Options, n, trials int, measure func(i, t int) (a, b float64)) []float64 {
+	type cell struct {
+		rel float64
+		ok  bool
+	}
+	cells := engine.Grid(o, n, trials, func(i, t int) cell {
+		a, b := measure(i, t)
+		if a <= 0 || b <= 0 {
+			return cell{}
+		}
+		d := (a - b) / b
+		if d < 0 {
+			d = -d
+		}
+		return cell{rel: d * 100, ok: true}
+	})
+	var rel []float64
+	for _, c := range cells {
+		if c.ok {
+			rel = append(rel, c.rel)
 		}
 	}
-	if n == 0 {
-		return 0
-	}
-	return sum / float64(n)
+	return rel
 }
 
 // Figure6Result compares the 20-location single-path TCP measurements
@@ -79,26 +114,34 @@ type Figure6Result struct {
 // Figure6 measures 1 MB TCP transfers (both networks, both directions)
 // at each location and compares the difference CDF with Figure 3's.
 func Figure6(o Options) Figure6Result {
-	camp := dataset.Generate(simnet.New(o.seed()))
+	camp := dataset.Generate(simnet.New(o.BaseSeed()))
 	appUp, appDown := camp.DiffCDFs()
 
-	var up, down []float64
-	trials := o.trials(2)
-	n := o.locations(len(phy.Locations))
-	for i := 0; i < n; i++ {
+	trials := o.TrialCount(2)
+	n := o.LocationCount(len(phy.Locations))
+	type cell struct {
+		up, down     float64
+		okUp, okDown bool
+	}
+	cells := engine.Grid(o, n, trials, func(i, t int) cell {
 		loc := phy.Locations[i]
-		for t := 0; t < trials; t++ {
-			s := core.NewSession(seedFor(o.seed(), loc.ID, t), loc.Condition())
-			wifiDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, 1<<20)
-			wifiUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Upload, 1<<20)
-			lteDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Download, 1<<20)
-			lteUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Upload, 1<<20)
-			if wifiDown > 0 && lteDown > 0 {
-				down = append(down, wifiDown-lteDown)
-			}
-			if wifiUp > 0 && lteUp > 0 {
-				up = append(up, wifiUp-lteUp)
-			}
+		s := core.NewSession(seedFor(o.BaseSeed(), loc.ID, t), loc.Condition())
+		wifiDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, 1<<20)
+		wifiUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Upload, 1<<20)
+		lteDown := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Download, 1<<20)
+		lteUp := s.RunMbps(core.Config{Transport: core.TCP, Iface: "lte"}, core.Upload, 1<<20)
+		return cell{
+			up: wifiUp - lteUp, okUp: wifiUp > 0 && lteUp > 0,
+			down: wifiDown - lteDown, okDown: wifiDown > 0 && lteDown > 0,
+		}
+	})
+	var up, down []float64
+	for _, c := range cells {
+		if c.okDown {
+			down = append(down, c.down)
+		}
+		if c.okUp {
+			up = append(up, c.up)
 		}
 	}
 	upCDF, downCDF := stats.NewECDF(up), stats.NewECDF(down)
@@ -149,14 +192,18 @@ var figure7Sizes = []int{1, 10, 100, 1000} // KB, the paper's log x-axis
 // representative locations.
 func Figure7(o Options) Figure7Result {
 	run := func(loc phy.Location) []Figure7Series {
-		var out []Figure7Series
-		for ci, cfg := range standardConfigs() {
+		cfgs := standardConfigs()
+		mbps := engine.Grid(o, len(cfgs), len(figure7Sizes), func(ci, ki int) float64 {
+			kb := figure7Sizes[ki]
+			return measureMbps(o.Serial(), seedFor(o.BaseSeed(), loc.ID, ci, kb), loc.Condition(),
+				cfgs[ci], core.Download, kb<<10, o.TrialCount(3))
+		})
+		out := make([]Figure7Series, 0, len(cfgs))
+		for ci, cfg := range cfgs {
 			s := Figure7Series{Config: cfg.Name()}
-			for _, kb := range figure7Sizes {
-				m := measureMbps(seedFor(o.seed(), loc.ID, ci, kb), loc.Condition(),
-					cfg, core.Download, kb<<10, o.trials(3))
+			for ki, kb := range figure7Sizes {
 				s.KB = append(s.KB, kb)
-				s.Mbps = append(s.Mbps, m)
+				s.Mbps = append(s.Mbps, mbps[ci*len(figure7Sizes)+ki])
 			}
 			out = append(out, s)
 		}
@@ -212,28 +259,18 @@ var figure8Sizes = []struct {
 // decoupled congestion control across locations and flow sizes.
 func Figure8(o Options) Figure8Result {
 	res := Figure8Result{MedianPct: map[string]float64{}}
-	n := o.locations(len(phy.Locations))
-	trials := o.trials(2)
+	n := o.LocationCount(len(phy.Locations))
+	trials := o.TrialCount(2)
 	for _, sz := range figure8Sizes {
-		var rel []float64
-		for i := 0; i < n; i++ {
+		rel := relDiffGrid(o, n, trials, func(i, t int) (float64, float64) {
 			loc := phy.Locations[i]
-			for t := 0; t < trials; t++ {
-				seed := seedFor(o.seed(), loc.ID, sz.bytes, t)
-				lte := measureMbps(seed, loc.Condition(),
-					core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, sz.bytes, 1)
-				wifi := measureMbps(seed+1, loc.Condition(),
-					core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, sz.bytes, 1)
-				if lte <= 0 || wifi <= 0 {
-					continue
-				}
-				d := (lte - wifi) / wifi
-				if d < 0 {
-					d = -d
-				}
-				rel = append(rel, d*100)
-			}
-		}
+			seed := seedFor(o.BaseSeed(), loc.ID, sz.bytes, t)
+			lte := measureMbps(o.Serial(), seed, loc.Condition(),
+				core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, sz.bytes, 1)
+			wifi := measureMbps(o.Serial(), seed+1, loc.Condition(),
+				core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, sz.bytes, 1)
+			return lte, wifi
+		})
 		cdf := stats.NewECDF(rel)
 		res.MedianPct[sz.label] = cdf.Median()
 		res.CDFs = append(res.CDFs, sampleCDF(cdf, sz.label+" relative difference (%)", 25))
@@ -300,11 +337,17 @@ type Figure9Result struct{ WiFiPrimary, LTEPrimary EvolutionResult }
 // Figure9 runs the throughput-evolution experiment at the LTE-better
 // location with both primary choices.
 func Figure9(o Options) Figure9Result {
-	loc := phy.LocLTEMuchBetter
-	return Figure9Result{
-		WiFiPrimary: evolution(seedFor(o.seed(), 9, 1), loc, "wifi"),
-		LTEPrimary:  evolution(seedFor(o.seed(), 9, 2), loc, "lte"),
-	}
+	ev := evolutionPair(o, phy.LocLTEMuchBetter, 9)
+	return Figure9Result{WiFiPrimary: ev[0], LTEPrimary: ev[1]}
+}
+
+// evolutionPair runs the WiFi-primary and LTE-primary evolutions of a
+// Fig. 9/10 panel pair concurrently.
+func evolutionPair(o Options, loc phy.Location, tag int) []EvolutionResult {
+	primaries := []string{"wifi", "lte"}
+	return engine.Sweep(o, len(primaries), func(i int) EvolutionResult {
+		return evolution(seedFor(o.BaseSeed(), tag, i+1), loc, primaries[i])
+	})
 }
 
 // Figure10Result pairs the two panels of Fig. 10 (WiFi-better site).
@@ -312,11 +355,8 @@ type Figure10Result struct{ WiFiPrimary, LTEPrimary EvolutionResult }
 
 // Figure10 is Figure9 at the WiFi-better location.
 func Figure10(o Options) Figure10Result {
-	loc := phy.LocWiFiBetter
-	return Figure10Result{
-		WiFiPrimary: evolution(seedFor(o.seed(), 10, 1), loc, "wifi"),
-		LTEPrimary:  evolution(seedFor(o.seed(), 10, 2), loc, "lte"),
-	}
+	ev := evolutionPair(o, phy.LocWiFiBetter, 10)
+	return Figure10Result{WiFiPrimary: ev[0], LTEPrimary: ev[1]}
 }
 
 func renderEvolution(title string, e EvolutionResult) string {
@@ -359,17 +399,27 @@ type FlowSizeSweepResult struct {
 
 func flowSizeSweep(o Options, loc phy.Location, tag int) FlowSizeSweepResult {
 	res := FlowSizeSweepResult{Location: loc.ID}
-	trials := o.trials(3)
+	trials := o.TrialCount(3)
+	var kbs []int
 	for kb := 100; kb <= 1000; kb += 150 {
-		lte := measureMbps(seedFor(o.seed(), tag, loc.ID, kb, 0), loc.Condition(),
-			core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, kb<<10, trials)
-		wifi := measureMbps(seedFor(o.seed(), tag, loc.ID, kb, 1), loc.Condition(),
-			core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, kb<<10, trials)
+		kbs = append(kbs, kb)
+	}
+	type pair struct{ lte, wifi float64 }
+	pairs := engine.Sweep(o, len(kbs), func(i int) pair {
+		kb := kbs[i]
+		return pair{
+			lte: measureMbps(o.Serial(), seedFor(o.BaseSeed(), tag, loc.ID, kb, 0), loc.Condition(),
+				core.Config{Transport: core.MPTCP, Primary: "lte"}, core.Download, kb<<10, trials),
+			wifi: measureMbps(o.Serial(), seedFor(o.BaseSeed(), tag, loc.ID, kb, 1), loc.Condition(),
+				core.Config{Transport: core.MPTCP, Primary: "wifi"}, core.Download, kb<<10, trials),
+		}
+	})
+	for i, kb := range kbs {
 		res.KB = append(res.KB, kb)
-		res.LTEMbps = append(res.LTEMbps, lte)
-		res.WiFiMbps = append(res.WiFiMbps, wifi)
-		if wifi > 0 {
-			res.Ratio = append(res.Ratio, lte/wifi)
+		res.LTEMbps = append(res.LTEMbps, pairs[i].lte)
+		res.WiFiMbps = append(res.WiFiMbps, pairs[i].wifi)
+		if pairs[i].wifi > 0 {
+			res.Ratio = append(res.Ratio, pairs[i].lte/pairs[i].wifi)
 		} else {
 			res.Ratio = append(res.Ratio, 0)
 		}
@@ -419,10 +469,11 @@ func Coupling(o Options) CouplingResult {
 		NetworkMedianPct: map[string]float64{},
 	}
 	locIDs := phy.CouplingStudyLocations
-	if n := o.locations(len(locIDs)); n < len(locIDs) {
+	if n := o.LocationCount(len(locIDs)); n < len(locIDs) {
 		locIDs = locIDs[:n]
 	}
-	trials := o.trials(3)
+	trials := o.TrialCount(3)
+	dirs := []core.Direction{core.Download, core.Upload}
 	reldiff := func(a, b float64) (float64, bool) {
 		if a <= 0 || b <= 0 {
 			return 0, false
@@ -434,38 +485,47 @@ func Coupling(o Options) CouplingResult {
 		return d * 100, true
 	}
 	for _, sz := range figure8Sizes {
-		var ccSamples, netSamples []float64
-		for _, id := range locIDs {
+		// One sweep cell per (location, direction, trial), flattened with
+		// the location index slowest so samples collect in the historical
+		// nesting order.
+		type cell struct{ cc, net []float64 }
+		cells := engine.Sweep(o, len(locIDs)*len(dirs)*trials, func(k int) cell {
+			id := locIDs[k/(len(dirs)*trials)]
+			dir := dirs[k/trials%len(dirs)]
+			t := k % trials
 			loc := phy.LocationByID(id)
-			for _, dir := range []core.Direction{core.Download, core.Upload} {
-				for t := 0; t < trials; t++ {
-					seed := seedFor(o.seed(), 1314, id, sz.bytes, int(dir), t)
-					m := map[string]float64{}
-					for ci, cfg := range []core.Config{
-						{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Coupled},
-						{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Decoupled},
-						{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Coupled},
-						{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Decoupled},
-					} {
-						s := core.NewSession(seedFor(seed, ci), loc.Condition())
-						m[cfg.Primary+"/"+cfg.CC.String()] = s.RunMbps(cfg, dir, sz.bytes)
-					}
-					// rcwnd: same primary, different CC.
-					if d, ok := reldiff(m["lte/decoupled"], m["lte/coupled"]); ok {
-						ccSamples = append(ccSamples, d)
-					}
-					if d, ok := reldiff(m["wifi/decoupled"], m["wifi/coupled"]); ok {
-						ccSamples = append(ccSamples, d)
-					}
-					// rnetwork: same CC, different primary.
-					if d, ok := reldiff(m["lte/coupled"], m["wifi/coupled"]); ok {
-						netSamples = append(netSamples, d)
-					}
-					if d, ok := reldiff(m["lte/decoupled"], m["wifi/decoupled"]); ok {
-						netSamples = append(netSamples, d)
-					}
-				}
+			seed := seedFor(o.BaseSeed(), 1314, id, sz.bytes, int(dir), t)
+			m := map[string]float64{}
+			for ci, cfg := range []core.Config{
+				{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Coupled},
+				{Transport: core.MPTCP, Primary: "lte", CC: mptcp.Decoupled},
+				{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Coupled},
+				{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Decoupled},
+			} {
+				s := core.NewSession(seedFor(seed, ci), loc.Condition())
+				m[cfg.Primary+"/"+cfg.CC.String()] = s.RunMbps(cfg, dir, sz.bytes)
 			}
+			var c cell
+			// rcwnd: same primary, different CC.
+			if d, ok := reldiff(m["lte/decoupled"], m["lte/coupled"]); ok {
+				c.cc = append(c.cc, d)
+			}
+			if d, ok := reldiff(m["wifi/decoupled"], m["wifi/coupled"]); ok {
+				c.cc = append(c.cc, d)
+			}
+			// rnetwork: same CC, different primary.
+			if d, ok := reldiff(m["lte/coupled"], m["wifi/coupled"]); ok {
+				c.net = append(c.net, d)
+			}
+			if d, ok := reldiff(m["lte/decoupled"], m["wifi/decoupled"]); ok {
+				c.net = append(c.net, d)
+			}
+			return c
+		})
+		var ccSamples, netSamples []float64
+		for _, c := range cells {
+			ccSamples = append(ccSamples, c.cc...)
+			netSamples = append(netSamples, c.net...)
 		}
 		cc, net := stats.NewECDF(ccSamples), stats.NewECDF(netSamples)
 		res.CCMedianPct[sz.label] = cc.Median()

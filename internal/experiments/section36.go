@@ -6,12 +6,19 @@ import (
 
 	"multinet/internal/capture"
 	"multinet/internal/energy"
+	"multinet/internal/experiments/engine"
 	"multinet/internal/mptcp"
 	"multinet/internal/netem"
 	"multinet/internal/phy"
 	"multinet/internal/simnet"
 	"multinet/internal/tcp"
 )
+
+func init() {
+	register("figure15", "Figure 15", "3.6.1", 13, func(o Options) fmt.Stringer { return Figure15(o) })
+	register("figure16", "Figure 16", "3.6.2", 14, func(o Options) fmt.Stringer { return Figure16(o) })
+	register("energy-backup", "Section 3.6.2 energy", "3.6.2", 15, func(o Options) fmt.Stringer { return EnergyBackup(o) })
+}
 
 // Fig15Panel is one packet-transmission panel of the paper's Fig. 15.
 type Fig15Panel struct {
@@ -91,41 +98,56 @@ func fig15Run(seed int64, name, desc string, mode mptcp.Mode, primary string,
 	return p
 }
 
-// Figure15 reproduces all eight packet-pattern panels.
+// fig15Spec declares one panel's scenario; Figure15 sweeps the specs.
+type fig15Spec struct {
+	name, desc string
+	mode       mptcp.Mode
+	primary    string
+	backup     []string
+	horizon    time.Duration
+	manipulate func(sim *simnet.Sim, host *netem.Host)
+}
+
+// Figure15 reproduces all eight packet-pattern panels, running them
+// concurrently (each panel owns its own Sim).
 func Figure15(o Options) Figure15Result {
-	s := o.seed()
 	sec := func(n int) time.Duration { return time.Duration(n) * time.Second }
-	panels := []Fig15Panel{
-		fig15Run(seedFor(s, 15, 1), "a", "Full-MPTCP, LTE primary",
-			mptcp.FullMPTCP, "lte", nil, sec(60), nil),
-		fig15Run(seedFor(s, 15, 2), "b", "Full-MPTCP, WiFi primary",
-			mptcp.FullMPTCP, "wifi", nil, sec(60), nil),
-		fig15Run(seedFor(s, 15, 3), "c", "Backup, LTE primary, WiFi backup",
-			mptcp.Backup, "lte", []string{"wifi"}, sec(60), nil),
-		fig15Run(seedFor(s, 15, 4), "d", "Backup, WiFi primary, LTE backup",
-			mptcp.Backup, "wifi", []string{"lte"}, sec(60), nil),
-		fig15Run(seedFor(s, 15, 5), "e", "Backup, LTE primary, WiFi backup; LTE multipath-off at t=9s",
-			mptcp.Backup, "lte", []string{"wifi"}, sec(80),
-			func(sim *simnet.Sim, host *netem.Host) {
+	specs := []fig15Spec{
+		{name: "a", desc: "Full-MPTCP, LTE primary",
+			mode: mptcp.FullMPTCP, primary: "lte", horizon: sec(60)},
+		{name: "b", desc: "Full-MPTCP, WiFi primary",
+			mode: mptcp.FullMPTCP, primary: "wifi", horizon: sec(60)},
+		{name: "c", desc: "Backup, LTE primary, WiFi backup",
+			mode: mptcp.Backup, primary: "lte", backup: []string{"wifi"}, horizon: sec(60)},
+		{name: "d", desc: "Backup, WiFi primary, LTE backup",
+			mode: mptcp.Backup, primary: "wifi", backup: []string{"lte"}, horizon: sec(60)},
+		{name: "e", desc: "Backup, LTE primary, WiFi backup; LTE multipath-off at t=9s",
+			mode: mptcp.Backup, primary: "lte", backup: []string{"wifi"}, horizon: sec(80),
+			manipulate: func(sim *simnet.Sim, host *netem.Host) {
 				sim.Schedule(sec(9), func() { host.Iface("lte").SetDown(true) })
-			}),
-		fig15Run(seedFor(s, 15, 6), "f", "Backup, WiFi primary, LTE backup; WiFi multipath-off at t=11s",
-			mptcp.Backup, "wifi", []string{"lte"}, sec(80),
-			func(sim *simnet.Sim, host *netem.Host) {
+			}},
+		{name: "f", desc: "Backup, WiFi primary, LTE backup; WiFi multipath-off at t=11s",
+			mode: mptcp.Backup, primary: "wifi", backup: []string{"lte"}, horizon: sec(80),
+			manipulate: func(sim *simnet.Sim, host *netem.Host) {
 				sim.Schedule(sec(11), func() { host.Iface("wifi").SetDown(true) })
-			}),
-		fig15Run(seedFor(s, 15, 7), "g", "Backup, LTE primary, WiFi backup; unplug LTE at t=3s (silent), replug at t=68s",
-			mptcp.Backup, "lte", []string{"wifi"}, sec(200),
-			func(sim *simnet.Sim, host *netem.Host) {
+			}},
+		{name: "g", desc: "Backup, LTE primary, WiFi backup; unplug LTE at t=3s (silent), replug at t=68s",
+			mode: mptcp.Backup, primary: "lte", backup: []string{"wifi"}, horizon: sec(200),
+			manipulate: func(sim *simnet.Sim, host *netem.Host) {
 				sim.Schedule(sec(3), func() { host.Iface("lte").SetBlackhole(true) })
 				sim.Schedule(sec(68), func() { host.Iface("lte").SetBlackhole(false) })
-			}),
-		fig15Run(seedFor(s, 15, 8), "h", "Backup, WiFi primary, LTE backup; unplug WiFi at t=6s (carrier loss)",
-			mptcp.Backup, "wifi", []string{"lte"}, sec(80),
-			func(sim *simnet.Sim, host *netem.Host) {
+			}},
+		{name: "h", desc: "Backup, WiFi primary, LTE backup; unplug WiFi at t=6s (carrier loss)",
+			mode: mptcp.Backup, primary: "wifi", backup: []string{"lte"}, horizon: sec(80),
+			manipulate: func(sim *simnet.Sim, host *netem.Host) {
 				sim.Schedule(sec(6), func() { host.Iface("wifi").SetDown(true) })
-			}),
+			}},
 	}
+	panels := engine.Sweep(o, len(specs), func(i int) Fig15Panel {
+		sp := specs[i]
+		return fig15Run(seedFor(o.BaseSeed(), 15, i+1), sp.name, sp.desc,
+			sp.mode, sp.primary, sp.backup, sp.horizon, sp.manipulate)
+	})
 	return Figure15Result{Panels: panels}
 }
 
@@ -224,10 +246,22 @@ func Figure16(o Options) Figure16Result {
 		return p
 	}
 
-	// WiFi backup: LTE carries the data (panels a and d's mirror).
-	mA, doneA := run(seedFor(o.seed(), 16, 1), "lte", "wifi")
-	// LTE backup: WiFi carries the data (panels b and c's mirror).
-	mB, doneB := run(seedFor(o.seed(), 16, 2), "wifi", "lte")
+	type runOut struct {
+		meters map[string]*energy.Meter
+		done   time.Duration
+	}
+	// Cell 0 — WiFi backup: LTE carries the data (panels a and d's
+	// mirror). Cell 1 — LTE backup: WiFi carries the data (b and c's).
+	outs := engine.Sweep(o, 2, func(i int) runOut {
+		primary, backup := "lte", "wifi"
+		if i == 1 {
+			primary, backup = "wifi", "lte"
+		}
+		m, done := run(seedFor(o.BaseSeed(), 16, i+1), primary, backup)
+		return runOut{meters: m, done: done}
+	})
+	mA, doneA := outs[0].meters, outs[0].done
+	mB, doneB := outs[1].meters, outs[1].done
 
 	return Figure16Result{Panels: []Fig16Panel{
 		panel("a", "LTE power, non-backup (carrying data)", "lte", mA["lte"], doneA),
@@ -263,19 +297,20 @@ type EnergyBackupResult struct {
 func EnergyBackup(o Options) EnergyBackupResult {
 	res := EnergyBackupResult{}
 	durations := []float64{2, 5, 10, 15, 20, 30, 45, 60}
-	for _, d := range durations {
+	savings := engine.Sweep(o, len(durations), func(i int) float64 {
+		d := durations[i]
 		flow := time.Duration(d * float64(time.Second))
 		horizon := flow + 16*time.Second
 
 		// Backup: LTE sees only SYN at 0 and FIN at flow end.
-		simA := simnet.New(seedFor(o.seed(), 362, int(d)))
+		simA := simnet.New(seedFor(o.BaseSeed(), 362, int(d)))
 		backup := energy.NewMeter(simA, energy.LTE)
 		backup.OnPacket()
 		simA.Schedule(flow, backup.OnPacket)
 		simA.RunUntil(horizon)
 
 		// Full-MPTCP: LTE active for the whole flow.
-		simB := simnet.New(seedFor(o.seed(), 363, int(d)))
+		simB := simnet.New(seedFor(o.BaseSeed(), 363, int(d)))
 		active := energy.NewMeter(simB, energy.LTE)
 		for t := time.Duration(0); t <= flow; t += 20 * time.Millisecond {
 			tt := t
@@ -283,10 +318,12 @@ func EnergyBackup(o Options) EnergyBackupResult {
 		}
 		simB.RunUntil(horizon)
 
-		saving := 1 - backup.RadioJoules()/active.RadioJoules()
+		return 1 - backup.RadioJoules()/active.RadioJoules()
+	})
+	for i, d := range durations {
 		res.FlowSecs = append(res.FlowSecs, d)
-		res.SavingPct = append(res.SavingPct, saving*100)
-		if res.BreakEvenSecs == 0 && saving >= 0.5 {
+		res.SavingPct = append(res.SavingPct, savings[i]*100)
+		if res.BreakEvenSecs == 0 && savings[i] >= 0.5 {
 			res.BreakEvenSecs = d
 		}
 	}

@@ -5,10 +5,19 @@ import (
 	"time"
 
 	"multinet/internal/apps"
+	"multinet/internal/experiments/engine"
 	"multinet/internal/oracle"
 	"multinet/internal/phy"
 	"multinet/internal/replay"
 )
+
+func init() {
+	register("figure17", "Figure 17", "4.1", 16, func(o Options) fmt.Stringer { return Figure17(o) })
+	register("figure18", "Figure 18", "5.1", 17, func(o Options) fmt.Stringer { return Figure18(o) })
+	register("figure19", "Figure 19", "5.2", 18, func(o Options) fmt.Stringer { return Figure19(o) })
+	register("figure20", "Figure 20", "5.1", 19, func(o Options) fmt.Stringer { return Figure20(o) })
+	register("figure21", "Figure 21", "5.2", 20, func(o Options) fmt.Stringer { return Figure21(o) })
+}
 
 // Figure17Row summarises one app pattern's recorded traffic.
 type Figure17Row struct {
@@ -35,10 +44,10 @@ var fig17Cond = phy.Condition{
 // Figure17 records each app pattern and replays it once to obtain the
 // per-connection timing raster.
 func Figure17(o Options) Figure17Result {
-	var rows []Figure17Row
-	for i, app := range apps.All {
+	rows := engine.Sweep(o, len(apps.All), func(i int) Figure17Row {
+		app := apps.All[i]
 		rec := replay.Record(app)
-		res := replay.Run(seedFor(o.seed(), 17, i), fig17Cond, rec,
+		res := replay.Run(seedFor(o.BaseSeed(), 17, i), fig17Cond, rec,
 			replay.TransportConfig{Name: "WiFi-TCP", Kind: replay.SinglePath, Iface: "wifi"})
 		row := Figure17Row{
 			App:         app.Name,
@@ -53,8 +62,8 @@ func Figure17(o Options) Figure17Result {
 				row.LargestFlowKB = kb
 			}
 		}
-		rows = append(rows, row)
-	}
+		return row
+	})
 	return Figure17Result{Rows: rows}
 }
 
@@ -75,7 +84,7 @@ func (r Figure17Result) String() string {
 // replayConditions returns the emulated network conditions: the 20
 // locations of Section 3.2, as the paper replays over.
 func replayConditions(o Options) []phy.Condition {
-	n := o.locations(len(phy.Locations))
+	n := o.LocationCount(len(phy.Locations))
 	conds := make([]phy.Condition, 0, n)
 	for i := 0; i < n; i++ {
 		conds = append(conds, phy.Locations[i].Condition())
@@ -109,21 +118,21 @@ type ResponseTimeResult struct {
 func responseTimes(o Options, app apps.App, tag int) ResponseTimeResult {
 	rec := replay.Record(app)
 	res := ResponseTimeResult{App: app.Name + " " + app.Interaction}
-	for _, tc := range replay.StandardConfigs() {
+	tcs := replay.StandardConfigs()
+	for _, tc := range tcs {
 		res.Configs = append(res.Configs, tc.Name)
 	}
-	for ci, cond := range representativeConditions() {
-		res.Conditions = append(res.Conditions, fmt.Sprintf("NC%d(%s)", ci+1, cond.Name))
-		var row []float64
-		for _, tc := range replay.StandardConfigs() {
-			r := replay.Run(seedFor(o.seed(), tag, ci), cond, rec, tc)
-			if r.Completed {
-				row = append(row, r.ResponseTime.Seconds())
-			} else {
-				row = append(row, -1)
-			}
+	conds := representativeConditions()
+	secs := engine.Grid(o, len(conds), len(tcs), func(ci, ti int) float64 {
+		r := replay.Run(seedFor(o.BaseSeed(), tag, ci), conds[ci], rec, tcs[ti])
+		if r.Completed {
+			return r.ResponseTime.Seconds()
 		}
-		res.Secs = append(res.Secs, row)
+		return -1
+	})
+	for ci, cond := range conds {
+		res.Conditions = append(res.Conditions, fmt.Sprintf("NC%d(%s)", ci+1, cond.Name))
+		res.Secs = append(res.Secs, secs[ci*len(tcs):(ci+1)*len(tcs)])
 	}
 	return res
 }
@@ -163,19 +172,24 @@ type OracleResult struct {
 // paper's five oracle schemes.
 func oracles(o Options, app apps.App, tag int) OracleResult {
 	rec := replay.Record(app)
-	var conds []map[string]time.Duration
-	for ci, cond := range replayConditions(o) {
+	all := replayConditions(o)
+	// One cell per condition; a cell replays every standard config and
+	// returns nil if any replay fails to complete (the historical
+	// early-break), so only fully-measured conditions contribute.
+	perCond := engine.Sweep(o, len(all), func(ci int) map[string]time.Duration {
 		per := map[string]time.Duration{}
-		ok := true
 		for _, tc := range replay.StandardConfigs() {
-			r := replay.Run(seedFor(o.seed(), tag, ci), cond, rec, tc)
+			r := replay.Run(seedFor(o.BaseSeed(), tag, ci), all[ci], rec, tc)
 			if !r.Completed {
-				ok = false
-				break
+				return nil
 			}
 			per[tc.Name] = r.ResponseTime
 		}
-		if ok {
+		return per
+	})
+	var conds []map[string]time.Duration
+	for _, per := range perCond {
+		if per != nil {
 			conds = append(conds, per)
 		}
 	}

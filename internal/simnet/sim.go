@@ -32,6 +32,12 @@ type Sim struct {
 	// processed counts events executed since construction; exposed for
 	// tests and for sanity checks that experiments actually ran.
 	processed uint64
+	// cancelled counts heap entries whose timer was stopped but which
+	// have not been removed yet; Timer.Stop compacts the heap when they
+	// outnumber the live entries, so a workload that schedules and
+	// cancels timers indefinitely (e.g. per-packet retransmission
+	// timers) keeps the heap proportional to the live timer count.
+	cancelled int
 }
 
 // New returns a simulator whose random streams derive from seed.
@@ -54,7 +60,8 @@ func (s *Sim) Processed() uint64 { return s.processed }
 // Timer is a handle to a scheduled event. Cancelling a fired or already
 // cancelled timer is a no-op.
 type Timer struct {
-	ev *event
+	sim *Sim
+	ev  *event
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
@@ -62,7 +69,13 @@ func (t *Timer) Stop() bool {
 	if t == nil || t.ev == nil || t.ev.fn == nil {
 		return false
 	}
-	t.ev.fn = nil // heap entry stays; Run skips nil fns
+	t.ev.fn = nil // heap entry stays until run pops it or compact removes it
+	if s := t.sim; s != nil {
+		s.cancelled++
+		if s.cancelled > len(s.events)/2 {
+			s.compact()
+		}
+	}
 	return true
 }
 
@@ -89,7 +102,7 @@ func (s *Sim) Schedule(at time.Duration, fn func()) *Timer {
 	ev := &event{at: at, seq: s.seq, fn: fn}
 	s.seq++
 	heap.Push(&s.events, ev)
-	return &Timer{ev: ev}
+	return &Timer{sim: s, ev: ev}
 }
 
 // After runs fn after delay d (relative to the current virtual time).
@@ -140,6 +153,7 @@ func (s *Sim) run(until time.Duration) int {
 		}
 		heap.Pop(&s.events)
 		if next.fn == nil { // cancelled
+			s.cancelled--
 			continue
 		}
 		s.now = next.at
@@ -152,15 +166,29 @@ func (s *Sim) run(until time.Duration) int {
 	return n
 }
 
-// Pending returns the number of scheduled (possibly cancelled) events.
+// Pending returns the number of live (not cancelled) scheduled events.
 func (s *Sim) Pending() int {
-	live := 0
+	return len(s.events) - s.cancelled
+}
+
+// compact removes cancelled entries from the event heap and restores
+// the heap invariant. Timer handles to removed events stay valid: a
+// compacted-away event has fn == nil, so Stop and Active treat it as
+// fired.
+func (s *Sim) compact() {
+	live := s.events[:0]
 	for _, ev := range s.events {
 		if ev.fn != nil {
-			live++
+			live = append(live, ev)
 		}
 	}
-	return live
+	// Release the tail so removed events can be collected.
+	for i := len(live); i < len(s.events); i++ {
+		s.events[i] = nil
+	}
+	s.events = live
+	heap.Init(&s.events)
+	s.cancelled = 0
 }
 
 // RNG returns the deterministic random stream with the given name,

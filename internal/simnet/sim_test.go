@@ -307,3 +307,75 @@ func BenchmarkScheduleRun(b *testing.B) {
 		s.Run()
 	}
 }
+
+func TestCancelledTimerCompaction(t *testing.T) {
+	s := New(1)
+	const n = 1024
+	timers := make([]*Timer, n)
+	for i := range timers {
+		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
+	}
+	for _, tm := range timers[:n-1] {
+		tm.Stop()
+	}
+	if got := s.Pending(); got != 1 {
+		t.Fatalf("Pending = %d, want 1", got)
+	}
+	// Cancelled entries may not accumulate: after cancelling all but
+	// one timer the heap must have been compacted down to the live one.
+	if len(s.events) != 1 {
+		t.Fatalf("heap holds %d entries after cancelling %d of %d timers", len(s.events), n-1, n)
+	}
+	if got := s.Run(); got != 1 {
+		t.Fatalf("Run executed %d events, want 1", got)
+	}
+}
+
+func TestTimerChurnKeepsHeapBounded(t *testing.T) {
+	// A workload that schedules and cancels timers forever (per-packet
+	// retransmission timers) must not grow the heap without bound.
+	s := New(1)
+	s.After(time.Hour, func() {})
+	for i := 0; i < 100000; i++ {
+		s.After(time.Minute, func() {}).Stop()
+		if len(s.events) > 8 {
+			t.Fatalf("iteration %d: heap grew to %d entries", i, len(s.events))
+		}
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", s.Pending())
+	}
+}
+
+func TestCompactionPreservesOrderAndHandles(t *testing.T) {
+	s := New(1)
+	var fired []int
+	timers := make([]*Timer, 100)
+	for i := range timers {
+		i := i
+		// Deadlines decrease with i so execution order differs from
+		// scheduling order.
+		timers[i] = s.After(time.Duration(100-i)*time.Millisecond, func() { fired = append(fired, i) })
+	}
+	// Cancelling every even timer forces repeated compactions.
+	for i := 0; i < len(timers); i += 2 {
+		timers[i].Stop()
+	}
+	for i, tm := range timers {
+		if got := tm.Active(); got != (i%2 == 1) {
+			t.Fatalf("timer %d Active = %v after compaction", i, got)
+		}
+	}
+	if timers[2].Stop() {
+		t.Fatal("Stop on a compacted-away timer should report false")
+	}
+	s.Run()
+	if len(fired) != 50 {
+		t.Fatalf("fired %d timers, want 50", len(fired))
+	}
+	for k, i := range fired {
+		if want := 99 - 2*k; i != want {
+			t.Fatalf("fired[%d] = %d, want %d", k, i, want)
+		}
+	}
+}
