@@ -31,6 +31,21 @@ import (
 	"multinet/internal/experiments/engine"
 )
 
+// scenarioBanner returns a printer that emits a one-time section
+// header before the first scenario experiment (the ones that go
+// beyond the paper's WiFi+LTE pair; see internal/experiments
+// scenarios.go).
+func scenarioBanner() func(e engine.Experiment, print func(string)) {
+	done := false
+	return func(e engine.Experiment, print func(string)) {
+		if done || e.Meta.Section != "scenario" {
+			return
+		}
+		done = true
+		print("-------- scenario experiments (N-path conditions beyond the paper) --------")
+	}
+}
+
 type jsonResult struct {
 	Name    string  `json:"name"`
 	Title   string  `json:"title"`
@@ -49,7 +64,9 @@ func main() {
 	flag.Parse()
 
 	if *list {
+		banner := scenarioBanner()
 		for _, e := range engine.All() {
+			banner(e, func(s string) { fmt.Println(s) })
 			fmt.Printf("%-20s %-22s section %s\n", e.Meta.Name, e.Meta.Title, e.Meta.Section)
 		}
 		return
@@ -79,7 +96,11 @@ func main() {
 
 	var results []jsonResult
 	total := time.Now()
+	banner := scenarioBanner()
 	for _, e := range todo {
+		if !*asJSON {
+			banner(e, func(s string) { fmt.Println(s) })
+		}
 		start := time.Now()
 		out := e.Run(o).String()
 		elapsed := time.Since(start)

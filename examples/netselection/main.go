@@ -30,7 +30,7 @@ func main() {
 		probe := core.NewSession(int64(loc.ID), loc.Condition())
 		est := probe.Probe()
 		fmt.Printf("  probe: wifi %.2f Mbit/s, lte %.2f Mbit/s -> best=%s disparity=%.1fx\n",
-			est.WiFiMbps, est.LTEMbps, est.Best(), est.Disparity())
+			est.Mbps("wifi"), est.Mbps("lte"), est.Best(), est.Disparity())
 
 		for _, size := range sizes {
 			cfg := core.Selector{}.Choose(est, size)

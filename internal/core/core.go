@@ -34,7 +34,8 @@ const (
 type Config struct {
 	// Transport selects TCP or MPTCP.
 	Transport TransportKind
-	// Iface is the network for single-path TCP ("wifi"/"lte").
+	// Iface is the network for single-path TCP: any attached interface
+	// name ("wifi"/"lte" in the classic pair).
 	Iface string
 	// Primary is the MPTCP primary-subflow network.
 	Primary string

@@ -95,8 +95,9 @@ func TestConfigNames(t *testing.T) {
 func TestProbeEstimates(t *testing.T) {
 	s := NewSession(5, cleanCond(12, 4))
 	est := s.Probe()
-	if est.WiFiMbps <= est.LTEMbps {
-		t.Fatalf("probe: wifi %.2f <= lte %.2f, but WiFi link is 3x faster", est.WiFiMbps, est.LTEMbps)
+	if est.Mbps("wifi") <= est.Mbps("lte") {
+		t.Fatalf("probe: wifi %.2f <= lte %.2f, but WiFi link is 3x faster",
+			est.Mbps("wifi"), est.Mbps("lte"))
 	}
 	if est.Best() != "wifi" {
 		t.Fatalf("Best = %s, want wifi", est.Best())
@@ -105,7 +106,7 @@ func TestProbeEstimates(t *testing.T) {
 
 func TestSelectorShortFlow(t *testing.T) {
 	sel := Selector{}
-	est := Estimate{WiFiMbps: 3, LTEMbps: 9}
+	est := WiFiLTEEstimate(3, 9, 0, 0)
 	cfg := sel.Choose(est, 50_000)
 	if cfg.Transport != TCP || cfg.Iface != "lte" {
 		t.Fatalf("short flow choice = %+v, want LTE-TCP", cfg)
@@ -114,7 +115,7 @@ func TestSelectorShortFlow(t *testing.T) {
 
 func TestSelectorLongFlowComparablePaths(t *testing.T) {
 	sel := Selector{}
-	est := Estimate{WiFiMbps: 6, LTEMbps: 5}
+	est := WiFiLTEEstimate(6, 5, 0, 0)
 	cfg := sel.Choose(est, 5<<20)
 	if cfg.Transport != MPTCP || cfg.Primary != "wifi" || cfg.CC != mptcp.Decoupled {
 		t.Fatalf("long flow choice = %+v, want MPTCP wifi-primary decoupled", cfg)
@@ -123,7 +124,7 @@ func TestSelectorLongFlowComparablePaths(t *testing.T) {
 
 func TestSelectorLongFlowDisparatePaths(t *testing.T) {
 	sel := Selector{}
-	est := Estimate{WiFiMbps: 1, LTEMbps: 10}
+	est := WiFiLTEEstimate(1, 10, 0, 0)
 	cfg := sel.Choose(est, 5<<20)
 	if cfg.Transport != TCP || cfg.Iface != "lte" {
 		t.Fatalf("disparate-path choice = %+v, want LTE-TCP (Fig. 7a regime)", cfg)
@@ -154,17 +155,93 @@ func TestSelectorBeatsWorstStaticPolicy(t *testing.T) {
 }
 
 func TestEstimateHelpers(t *testing.T) {
-	e := Estimate{WiFiMbps: 4, LTEMbps: 8}
+	e := WiFiLTEEstimate(4, 8, 0, 0)
 	if e.Disparity() != 2 {
 		t.Fatalf("disparity = %v, want 2", e.Disparity())
 	}
-	tie := Estimate{WiFiMbps: 5, LTEMbps: 5, WiFiRTT: 30 * time.Millisecond, LTERTT: 60 * time.Millisecond}
+	tie := WiFiLTEEstimate(5, 5, 30*time.Millisecond, 60*time.Millisecond)
 	if tie.Best() != "wifi" {
 		t.Fatal("tie should prefer lower RTT (wifi)")
 	}
-	zero := Estimate{WiFiMbps: 0, LTEMbps: 5}
+	zero := WiFiLTEEstimate(0, 5, 0, 0)
 	if zero.Disparity() < 1e6 {
 		t.Fatal("zero estimate should give infinite disparity")
+	}
+}
+
+func TestEstimateEdgeCases(t *testing.T) {
+	// Throughput tie broken by RTT regardless of estimate order.
+	e := NewEstimate(
+		PathEstimate{Name: "slowrtt", Mbps: 5, RTT: 80 * time.Millisecond},
+		PathEstimate{Name: "fastrtt", Mbps: 5, RTT: 20 * time.Millisecond},
+	)
+	if e.Best() != "fastrtt" {
+		t.Fatalf("Best = %q, want fastrtt (RTT tie-break)", e.Best())
+	}
+	// Full tie falls back to estimate order.
+	even := NewEstimate(
+		PathEstimate{Name: "a", Mbps: 5, RTT: 20 * time.Millisecond},
+		PathEstimate{Name: "b", Mbps: 5, RTT: 20 * time.Millisecond},
+	)
+	if even.Best() != "a" {
+		t.Fatalf("Best = %q, want first-listed path on full tie", even.Best())
+	}
+	// Zero-rate path poisons the whole-set disparity...
+	z := NewEstimate(
+		PathEstimate{Name: "up", Mbps: 10},
+		PathEstimate{Name: "dead", Mbps: 0},
+	)
+	if z.Disparity() < 1e6 {
+		t.Fatalf("disparity with dead path = %v, want huge", z.Disparity())
+	}
+	// ...and empty / single-path estimates never admit MPTCP.
+	if (Estimate{}).Disparity() < 1e6 || (Estimate{}).Best() != "" {
+		t.Fatal("empty estimate: want huge disparity and no best path")
+	}
+	one := NewEstimate(PathEstimate{Name: "only", Mbps: 7})
+	if one.Disparity() < 1e6 || one.PairDisparity() < 1e6 {
+		t.Fatal("single path: want huge disparities")
+	}
+	if one.Best() != "only" {
+		t.Fatalf("Best = %q, want only", one.Best())
+	}
+}
+
+func TestEstimateNPathRanking(t *testing.T) {
+	e := NewEstimate(
+		PathEstimate{Name: "wlan-far", Mbps: 2, RTT: 55 * time.Millisecond},
+		PathEstimate{Name: "lte-a", Mbps: 9, RTT: 60 * time.Millisecond},
+		PathEstimate{Name: "lte-b", Mbps: 9, RTT: 45 * time.Millisecond},
+		PathEstimate{Name: "wlan-near", Mbps: 12, RTT: 25 * time.Millisecond},
+	)
+	want := []string{"wlan-near", "lte-b", "lte-a", "wlan-far"}
+	for i, p := range e.Ranked() {
+		if p.Name != want[i] {
+			t.Fatalf("Ranked[%d] = %q, want %q", i, p.Name, want[i])
+		}
+	}
+	if e.Best() != "wlan-near" {
+		t.Fatalf("Best = %q", e.Best())
+	}
+	// Whole-set disparity sees the weak fourth path; the pairwise one
+	// only compares the two best.
+	if d := e.Disparity(); d != 6 {
+		t.Fatalf("Disparity = %v, want 12/2", d)
+	}
+	if d := e.PairDisparity(); d != 12.0/9 {
+		t.Fatalf("PairDisparity = %v, want 12/9", d)
+	}
+	// A straggler path must not veto MPTCP over the two good paths.
+	sel := Selector{}
+	if !sel.UseMPTCP(e, 5<<20) {
+		t.Fatal("long flow over comparable best pair should use MPTCP")
+	}
+	cfg := sel.Choose(e, 5<<20)
+	if cfg.Transport != MPTCP || cfg.Primary != "wlan-near" {
+		t.Fatalf("Choose = %+v, want MPTCP primary wlan-near", cfg)
+	}
+	if sel.UseMPTCP(e, 10<<10) {
+		t.Fatal("short flow should stay single-path")
 	}
 }
 

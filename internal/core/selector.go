@@ -1,43 +1,129 @@
 package core
 
 import (
+	"sort"
 	"time"
 
 	"multinet/internal/mptcp"
 )
 
-// Estimate summarises the current per-network conditions, as a
-// lightweight probe or history would report them.
+// hugeDisparity is the ratio reported when a disparity is undefined
+// (a zero-rate path, or fewer than two paths): effectively infinite,
+// so every disparity gate fails closed to single-path TCP.
+const hugeDisparity = 1e9
+
+// PathEstimate is one path's estimated conditions, as a lightweight
+// probe or history would report them.
+type PathEstimate struct {
+	Name string
+	Mbps float64
+	RTT  time.Duration
+}
+
+// Estimate summarises the current conditions of any number of paths.
+// Path order is significant: earlier paths win ranking ties, so build
+// estimates in preference order (Probe uses host attachment order).
 type Estimate struct {
-	WiFiMbps, LTEMbps float64
-	WiFiRTT, LTERTT   time.Duration
+	Paths []PathEstimate
 }
 
-// Best returns the interface name with the higher estimated throughput
-// (ties broken by lower RTT).
+// NewEstimate builds an estimate from per-path stats in preference
+// order.
+func NewEstimate(paths ...PathEstimate) Estimate {
+	return Estimate{Paths: paths}
+}
+
+// WiFiLTEEstimate is the two-path convenience constructor for the
+// paper's classic {wifi, lte} pair.
+func WiFiLTEEstimate(wifiMbps, lteMbps float64, wifiRTT, lteRTT time.Duration) Estimate {
+	return NewEstimate(
+		PathEstimate{Name: "wifi", Mbps: wifiMbps, RTT: wifiRTT},
+		PathEstimate{Name: "lte", Mbps: lteMbps, RTT: lteRTT},
+	)
+}
+
+// Set updates the named path's estimate, appending it if new.
+func (e *Estimate) Set(name string, mbps float64, rtt time.Duration) {
+	for i := range e.Paths {
+		if e.Paths[i].Name == name {
+			e.Paths[i].Mbps, e.Paths[i].RTT = mbps, rtt
+			return
+		}
+	}
+	e.Paths = append(e.Paths, PathEstimate{Name: name, Mbps: mbps, RTT: rtt})
+}
+
+// Lookup returns the named path's estimate.
+func (e Estimate) Lookup(name string) (PathEstimate, bool) {
+	for _, p := range e.Paths {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PathEstimate{}, false
+}
+
+// Mbps returns the named path's estimated throughput (0 if unknown).
+func (e Estimate) Mbps(name string) float64 {
+	p, _ := e.Lookup(name)
+	return p.Mbps
+}
+
+// Ranked returns the paths best-first: higher throughput wins, ties
+// broken by lower RTT, remaining ties by estimate order.
+func (e Estimate) Ranked() []PathEstimate {
+	out := append([]PathEstimate(nil), e.Paths...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Mbps != out[j].Mbps {
+			return out[i].Mbps > out[j].Mbps
+		}
+		return out[i].RTT < out[j].RTT
+	})
+	return out
+}
+
+// Best returns the name of the top-ranked path ("" for an empty
+// estimate).
 func (e Estimate) Best() string {
-	if e.WiFiMbps > e.LTEMbps {
-		return "wifi"
+	r := e.Ranked()
+	if len(r) == 0 {
+		return ""
 	}
-	if e.LTEMbps > e.WiFiMbps {
-		return "lte"
-	}
-	if e.WiFiRTT <= e.LTERTT {
-		return "wifi"
-	}
-	return "lte"
+	return r[0].Name
 }
 
-// Disparity returns max/min of the two throughput estimates.
+// Disparity returns max/min of the per-path throughput estimates
+// across the whole set (hugeDisparity when any path reports zero or
+// fewer than two paths exist).
 func (e Estimate) Disparity() float64 {
-	lo, hi := e.WiFiMbps, e.LTEMbps
-	if lo > hi {
-		lo, hi = hi, lo
+	if len(e.Paths) < 2 {
+		return hugeDisparity
+	}
+	lo, hi := e.Paths[0].Mbps, e.Paths[0].Mbps
+	for _, p := range e.Paths[1:] {
+		if p.Mbps < lo {
+			lo = p.Mbps
+		}
+		if p.Mbps > hi {
+			hi = p.Mbps
+		}
 	}
 	if lo <= 0 {
-		return 1e9
+		return hugeDisparity
 	}
 	return hi / lo
+}
+
+// PairDisparity returns the throughput ratio of the best path to the
+// second-best — the quantity that decides whether MPTCP's extra
+// subflow can help. With exactly two paths it equals Disparity; with
+// more it ignores paths MPTCP's scheduler would starve anyway.
+func (e Estimate) PairDisparity() float64 {
+	r := e.Ranked()
+	if len(r) < 2 || r[1].Mbps <= 0 {
+		return hugeDisparity
+	}
+	return r[0].Mbps / r[1].Mbps
 }
 
 // Selector is the adaptive policy the paper's conclusion calls for,
@@ -51,6 +137,9 @@ func (e Estimate) Disparity() float64 {
 //   - Otherwise, long flows benefit from MPTCP with the primary on the
 //     better network (Fig. 8) and decoupled congestion control, which
 //     outruns coupled on long flows (Figs. 13/14).
+//
+// The policy ranks any number of paths: MPTCP is worthwhile when the
+// best two paths are comparable, whatever the rest of the set does.
 type Selector struct {
 	// ShortFlowBytes is the flow size below which single-path TCP is
 	// always chosen (default 200 KB — between the paper's 100 KB
@@ -78,11 +167,18 @@ func (s Selector) maxDisparity() float64 {
 	return 4
 }
 
+// UseMPTCP is the MPTCP-worthwhile predicate over the estimated path
+// set: the flow is long enough and the two best paths are within the
+// disparity bound.
+func (s Selector) UseMPTCP(e Estimate, flowBytes int) bool {
+	return flowBytes > s.shortFlowBytes() && e.PairDisparity() <= s.maxDisparity()
+}
+
 // Choose returns the transfer configuration for a flow of the given
 // size under the estimated conditions.
 func (s Selector) Choose(e Estimate, flowBytes int) Config {
 	best := e.Best()
-	if flowBytes <= s.shortFlowBytes() || e.Disparity() > s.maxDisparity() {
+	if !s.UseMPTCP(e, flowBytes) {
 		return Config{Transport: TCP, Iface: best}
 	}
 	cc := mptcp.Decoupled
@@ -95,19 +191,18 @@ func (s Selector) Choose(e Estimate, flowBytes int) Config {
 // ProbeSize is the transfer used per network by Session.Probe.
 const ProbeSize = 256 << 10
 
-// Probe measures both networks with a ProbeSize download each and
-// returns the resulting estimate. It advances the session clock.
+// Probe measures every attached network with a ProbeSize download
+// each, in attachment order, and returns the resulting estimate. It
+// advances the session clock.
 func (s *Session) Probe() Estimate {
-	wifi := s.Run(Config{Transport: TCP, Iface: "wifi"}, Download, ProbeSize)
-	lte := s.Run(Config{Transport: TCP, Iface: "lte"}, Download, ProbeSize)
 	est := Estimate{}
-	if wifi.Completed {
-		est.WiFiMbps = wifi.Mbps
-		est.WiFiRTT = wifi.EstablishedAt // handshake ≈ 1 RTT
-	}
-	if lte.Completed {
-		est.LTEMbps = lte.Mbps
-		est.LTERTT = lte.EstablishedAt
+	for _, name := range s.Host.IfaceNames() {
+		r := s.Run(Config{Transport: TCP, Iface: name}, Download, ProbeSize)
+		if r.Completed {
+			est.Set(name, r.Mbps, r.EstablishedAt) // handshake ≈ 1 RTT
+		} else {
+			est.Set(name, 0, 0)
+		}
 	}
 	return est
 }

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"crypto/sha256"
+	"fmt"
 	"math"
 	"runtime"
 	"strings"
@@ -436,8 +438,8 @@ func TestRegistryUniqueAndRunnable(t *testing.T) {
 	// benchmarks — and every registered experiment must run and render
 	// under Quick() options.
 	all := engine.All()
-	if len(all) != 24 {
-		t.Fatalf("registry holds %d experiments, want 24", len(all))
+	if len(all) != 27 {
+		t.Fatalf("registry holds %d experiments, want 24 paper + 3 scenario", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -458,6 +460,125 @@ func TestRegistryUniqueAndRunnable(t *testing.T) {
 		t.Run(e.Meta.Name, func(t *testing.T) {
 			if out := e.Run(Quick()).String(); len(out) < 40 {
 				t.Errorf("renderer output too short (%d bytes)", len(out))
+			}
+		})
+	}
+}
+
+func TestScenarioShapes(t *testing.T) {
+	dlte := ScenarioDualLTE(Quick())
+	if len(dlte.Variants) != 2 {
+		t.Fatalf("dual-lte variants = %d", len(dlte.Variants))
+	}
+	similar, disparate := dlte.Variants[0], dlte.Variants[1]
+	// Similar twin carriers aggregate on bulk flows (Mohan et al.);
+	// their probe disparity stays within the MPTCP-worthwhile bound.
+	if similar.BestMPTCPMbps <= similar.BestTCPMbps {
+		t.Errorf("similar carriers: MPTCP %.2f should beat best TCP %.2f",
+			similar.BestMPTCPMbps, similar.BestTCPMbps)
+	}
+	if similar.Disparity >= disparate.Disparity {
+		t.Errorf("disparity ordering: similar %.1f should be below disparate %.1f",
+			similar.Disparity, disparate.Disparity)
+	}
+
+	dwlan := ScenarioDualWLAN(Quick())
+	nearFar, overlap := dwlan.Variants[0], dwlan.Variants[1]
+	// Next to a crowded far AP the selector must stay single-path at
+	// every size; in the overlap zone bulk flows go multipath.
+	for si, d := range nearFar.Decisions {
+		if !strings.HasSuffix(d, "-TCP") {
+			t.Errorf("near/far AP size %dKB: selector chose %s, want single-path", nearFar.KB[si], d)
+		}
+	}
+	if d := overlap.Decisions[len(overlap.Decisions)-1]; !strings.HasPrefix(d, "MPTCP") {
+		t.Errorf("overlap zone bulk flow: selector chose %s, want MPTCP", d)
+	}
+	if overlap.BestMPTCPMbps <= overlap.BestTCPMbps {
+		t.Errorf("overlap zone: MPTCP %.2f should beat best TCP %.2f",
+			overlap.BestMPTCPMbps, overlap.BestTCPMbps)
+	}
+
+	w2l := ScenarioWiFi2LTE(Quick())
+	// Three subflows must out-aggregate the best single path.
+	if w2l.Transfers.BestMPTCPMbps <= w2l.Transfers.BestTCPMbps {
+		t.Errorf("wifi+2lte: MPTCP %.2f should beat best TCP %.2f",
+			w2l.Transfers.BestMPTCPMbps, w2l.Transfers.BestTCPMbps)
+	}
+	if len(w2l.Transfers.Ranked) != 3 {
+		t.Fatalf("wifi+2lte probe ranked %d paths, want 3", len(w2l.Transfers.Ranked))
+	}
+	// The generalized oracle must rank all 7 schemes (baseline + 3
+	// single-path/CC oracles + 3 per-primary oracles) and some MPTCP
+	// oracle must beat the single-path oracle on the long-flow app.
+	if len(w2l.SchemeNames) != 7 {
+		t.Fatalf("oracle schemes = %d, want 7", len(w2l.SchemeNames))
+	}
+	if w2l.Conditions == 0 {
+		t.Fatal("no oracle conditions completed")
+	}
+	sp := w2l.Normalized["Single-Path-TCP Oracle"]
+	dec := w2l.Normalized["Decoupled-MPTCP Oracle"]
+	if sp <= 0 || dec <= 0 || dec >= sp {
+		t.Errorf("3-path oracle: decoupled MPTCP %.2f should beat single-path %.2f", dec, sp)
+	}
+}
+
+// quickGolden pins the SHA-256 of every experiment's Quick() output at
+// the default seed. The 24 paper-experiment hashes were captured
+// BEFORE the N-path PathSet refactor, so this test proves the refactor
+// (and any future change) keeps their output bit-identical; the three
+// scenario hashes pin the new experiments' determinism the same way.
+// A mismatch here means experiment calibration changed: that is a
+// deliberate act, never a side effect — recapture with
+// `go run ./cmd/report -quick -json` and say so in the commit.
+var quickGolden = map[string]string{
+	"table1":             "da7ec171726744f9d7456421d6745e4938c3192403275c8ed89cd4aeb4699f62",
+	"figure3":            "22446a640e675c83d4c9eec1f5e4ff2607bab2b4e029ccc1e193a268d753b0da",
+	"figure4":            "1c11d072532616180c3c921182f7852015e7bd4cd41f23c2221669b045535489",
+	"table2":             "04440cf4b58a539247910cd0ae4189985932c0941133169b5f5868839f9d7f1d",
+	"figure6":            "dcb9df2bf0fb9db5ec36c6a44e83eaaf6b065d51f437631f9dd27881319184ab",
+	"figure7":            "51c41c3740e44a1f1ca1b971759b3c945b46f65320fd5407f1dd9833946d2241",
+	"figure8":            "3e5612b3fa567329c8af908fb79c3ab6d03b7bdf735a3d07139b5bbf51cb2f54",
+	"figure9":            "11320924064f837b8d914e064a41c7e913600c716039b8642711be8c503ac418",
+	"figure10":           "4fbbbaecb892aa3bfcc71bdb4a7b6f61b850de81f490b6514156c5076b168cfd",
+	"figure11":           "486f44f39a0cd8f19c6b46610a168d1a62cc4f8895467fe086f851cd00eb5922",
+	"figure12":           "3de96e1a4071f9f653d8ad57e7c139c6b9177ff708ca162f0798c17921a2d44d",
+	"coupling":           "f2e12fbd77bf0b66f9598b5693e27f919ad051164be1a5742e2ba714b7409628",
+	"figure15":           "f34518970449a0d664030f68f52ee40bb70b1c9f208754ee0db781b3d662ef42",
+	"figure16":           "b56630d3237317f0798c697f6a2dd0944842a57e75840fb32742d9c7c7f64cdf",
+	"energy-backup":      "05196a2ce6b95ac196085390b950ea426c349abe50d5dee03c233265f96646bf",
+	"figure17":           "99bab977b60daa79a0176a1a294e3024b2f70f2e48ea0a248df2f0f6020b0f0d",
+	"figure18":           "8af855d73dd470b0f50843520db6cdca6c1b1643959fc1ba572bdf4e590dae34",
+	"figure19":           "e0bf556880af6a613db05e6b285f8c645bd6ff0dff9ad8f9773d8ef10675f994",
+	"figure20":           "e4e09ba0eb6ad2d5103f80566dbb171e07242bd11e8922cd2702a414d714cd45",
+	"figure21":           "a6993ee639d4c8e8d4b24780bf627c0e04f5669dcc39855761f08dee42211fd1",
+	"ablation-join":      "9d42f291ac71e129bad716445c1a2570194e0647ecfaa4f8ef3fdaccfeda2615",
+	"ablation-scheduler": "c82fa75f9c64cb2c2a494f48c82834396cb78b3bda852ca322d91bb0f538c599",
+	"ablation-tail":      "e1addebdf5efc48ef158d2733689a9fd7c6beef2b12038c847a1bdd2948e6c95",
+	"ablation-selector":  "482d15dd59d71fd9774ab254a563a39572d644656212a6ec652e7f3fe56afc3a",
+	"scenario-dual-lte":  "3a094d0f5193541f4eab9e787e272b9a326deb60e57da7093ee66e77d4bcb5e0",
+	"scenario-dual-wlan": "03c0de5058b4a76c07f021c0bd878196a84f25df348bda564e345a600aaeb8b6",
+	"scenario-wifi-2lte": "5e28cd2f73eac00db28d45bedc82639c45a8c7309199e3bc9478a470f47bff6b",
+}
+
+func TestQuickOutputGolden(t *testing.T) {
+	all := engine.All()
+	if len(all) != len(quickGolden) {
+		t.Fatalf("registry holds %d experiments, golden table %d", len(all), len(quickGolden))
+	}
+	o := Quick()
+	o.Seed = engine.DefaultSeed
+	for _, e := range all {
+		e := e
+		t.Run(e.Meta.Name, func(t *testing.T) {
+			want, ok := quickGolden[e.Meta.Name]
+			if !ok {
+				t.Fatalf("no golden hash for %q — add one (see quickGolden doc)", e.Meta.Name)
+			}
+			got := fmt.Sprintf("%x", sha256.Sum256([]byte(e.Run(o).String())))
+			if got != want {
+				t.Errorf("quick output changed: sha256 %s, golden %s", got, want)
 			}
 		})
 	}

@@ -35,13 +35,13 @@ func (c *LinkConfig) queueLimit() int {
 // baseLink implements the queueing, loss, and state logic shared by
 // FixedLink and VarLink.
 type baseLink struct {
-	sim      *simnet.Sim
-	cfg      LinkConfig
-	recv     func(*Packet)
-	queue    []*Packet
-	down     bool
-	blackhol bool
-	stats    LinkStats
+	sim       *simnet.Sim
+	cfg       LinkConfig
+	recv      func(*Packet)
+	queue     []*Packet
+	down      bool
+	blackhole bool
+	stats     LinkStats
 }
 
 func (b *baseLink) SetReceiver(fn func(*Packet)) { b.recv = fn }
@@ -51,7 +51,7 @@ func (b *baseLink) QueueLen() int                { return len(b.queue) }
 // admit runs the shared drop logic; it returns true when the packet was
 // queued and the caller should (re)start service.
 func (b *baseLink) admit(p *Packet) bool {
-	if b.down || b.blackhol {
+	if b.down || b.blackhole {
 		b.stats.DroppedDown++
 		return false
 	}
@@ -76,7 +76,7 @@ func (b *baseLink) deliver(p *Packet) {
 	b.stats.Delivered++
 	b.stats.BytesOut += int64(p.Size)
 	b.sim.After(b.cfg.PropDelay, func() {
-		if b.down || b.blackhol {
+		if b.down || b.blackhole {
 			// The packet was on the wire when the link died: it is lost.
 			b.stats.Delivered--
 			b.stats.BytesOut -= int64(p.Size)
@@ -138,7 +138,7 @@ func (l *FixedLink) Send(p *Packet) {
 }
 
 func (l *FixedLink) serveNext() {
-	if len(l.queue) == 0 || l.down || l.blackhol {
+	if len(l.queue) == 0 || l.down || l.blackhole {
 		l.serving = false
 		return
 	}
@@ -152,7 +152,7 @@ func (l *FixedLink) serveNext() {
 	done := start + txTime
 	l.busyUntil = done
 	l.sim.Schedule(done, func() {
-		if l.down || l.blackhol {
+		if l.down || l.blackhole {
 			l.serving = false
 			return
 		}
@@ -179,8 +179,8 @@ func (l *FixedLink) SetDown(down bool) {
 
 // SetBlackhole implements Link.
 func (l *FixedLink) SetBlackhole(bh bool) {
-	was := l.blackhol
-	l.blackhol = bh
+	was := l.blackhole
+	l.blackhole = bh
 	if bh {
 		l.purge()
 		l.serving = false
@@ -231,7 +231,7 @@ func (l *VarLink) arm() {
 	if l.wake != nil && l.wake.Active() {
 		return
 	}
-	if len(l.queue) == 0 || l.down || l.blackhol {
+	if len(l.queue) == 0 || l.down || l.blackhole {
 		return
 	}
 	next := l.src.Next(l.sim.Now())
@@ -240,7 +240,7 @@ func (l *VarLink) arm() {
 
 // opportunity consumes one delivery slot.
 func (l *VarLink) opportunity() {
-	if len(l.queue) == 0 || l.down || l.blackhol {
+	if len(l.queue) == 0 || l.down || l.blackhole {
 		return
 	}
 	p := l.queue[0]
@@ -270,8 +270,8 @@ func (l *VarLink) SetDown(down bool) {
 
 // SetBlackhole implements Link.
 func (l *VarLink) SetBlackhole(bh bool) {
-	was := l.blackhol
-	l.blackhol = bh
+	was := l.blackhole
+	l.blackhole = bh
 	if bh {
 		l.purge()
 		l.headBytes = 0

@@ -68,13 +68,55 @@ var configs = map[Scheme][]string{
 	MPTCPLTEPrimary:  {"MPTCP-Coupled-LTE", "MPTCP-Decoupled-LTE"},
 }
 
-// Pick returns the scheme's oracle response time for one condition:
-// the minimum over the configurations it controls. ok is false if any
-// needed configuration is missing.
-func Pick(perConfig map[string]time.Duration, s Scheme) (time.Duration, bool) {
-	names := configs[s]
+// PathScheme is an oracle over an explicit candidate set: it knows
+// which of its Configs minimises response time for each condition.
+// The enumerated two-path Schemes above are the paper's instances;
+// ForPaths generates the same family for any path set.
+type PathScheme struct {
+	Name    string
+	Configs []string
+}
+
+// ForPaths generates the paper's oracle family for an arbitrary path
+// set, given the display labels used in the replay configuration
+// names (e.g. {"WiFi", "LTE"} or {"LTE-A", "LTE-B"}): the
+// first-label TCP baseline, the single-path oracle over all N
+// alternatives, one per-CC MPTCP oracle choosing among N primaries,
+// and one per-primary oracle choosing the CC. With labels
+// {"WiFi", "LTE"} this reproduces the enumerated Schemes exactly.
+func ForPaths(labels []string) (schemes []PathScheme, baseline string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	baseline = labels[0] + "-TCP"
+	tcp := make([]string, len(labels))
+	coupled := make([]string, len(labels))
+	decoupled := make([]string, len(labels))
+	for i, l := range labels {
+		tcp[i] = l + "-TCP"
+		coupled[i] = "MPTCP-Coupled-" + l
+		decoupled[i] = "MPTCP-Decoupled-" + l
+	}
+	schemes = []PathScheme{
+		{Name: baseline, Configs: []string{baseline}},
+		{Name: "Single-Path-TCP Oracle", Configs: tcp},
+		{Name: "Decoupled-MPTCP Oracle", Configs: decoupled},
+		{Name: "Coupled-MPTCP Oracle", Configs: coupled},
+	}
+	for i, l := range labels {
+		schemes = append(schemes, PathScheme{
+			Name:    "MPTCP-" + l + "-Primary Oracle",
+			Configs: []string{coupled[i], decoupled[i]},
+		})
+	}
+	return schemes, baseline
+}
+
+// PickBest returns the minimum response time over the candidate
+// configurations. ok is false if any candidate is missing.
+func PickBest(perConfig map[string]time.Duration, candidates []string) (time.Duration, bool) {
 	best := time.Duration(math.MaxInt64)
-	for _, n := range names {
+	for _, n := range candidates {
 		d, ok := perConfig[n]
 		if !ok {
 			return 0, false
@@ -86,27 +128,35 @@ func Pick(perConfig map[string]time.Duration, s Scheme) (time.Duration, bool) {
 	return best, true
 }
 
-// Normalized computes each scheme's mean response time across
-// conditions, normalised by the WiFi-TCP baseline — the bars of the
-// paper's Figs. 19 and 21. Conditions missing any configuration are
-// skipped.
-func Normalized(conditions []map[string]time.Duration) map[Scheme]float64 {
-	sums := map[Scheme]float64{}
+// Pick returns the scheme's oracle response time for one condition:
+// the minimum over the configurations it controls. ok is false if any
+// needed configuration is missing.
+func Pick(perConfig map[string]time.Duration, s Scheme) (time.Duration, bool) {
+	return PickBest(perConfig, configs[s])
+}
+
+// NormalizedBy computes each scheme's mean response time across
+// conditions, normalised by the named baseline configuration.
+// Conditions missing the baseline or any scheme's configuration are
+// skipped, so every scheme averages over the same condition set. The
+// second return is how many conditions contributed.
+func NormalizedBy(conditions []map[string]time.Duration, schemes []PathScheme, baseline string) (map[string]float64, int) {
+	sums := map[string]float64{}
 	n := 0
 	for _, cond := range conditions {
-		base, ok := cond["WiFi-TCP"]
+		base, ok := cond[baseline]
 		if !ok || base <= 0 {
 			continue
 		}
 		complete := true
-		vals := map[Scheme]float64{}
-		for _, s := range Schemes {
-			d, ok := Pick(cond, s)
+		vals := map[string]float64{}
+		for _, s := range schemes {
+			d, ok := PickBest(cond, s.Configs)
 			if !ok {
 				complete = false
 				break
 			}
-			vals[s] = float64(d) / float64(base)
+			vals[s.Name] = float64(d) / float64(base)
 		}
 		if !complete {
 			continue
@@ -116,12 +166,31 @@ func Normalized(conditions []map[string]time.Duration) map[Scheme]float64 {
 		}
 		n++
 	}
-	out := map[Scheme]float64{}
+	out := map[string]float64{}
 	if n == 0 {
-		return out
+		return out, 0
 	}
 	for s, v := range sums {
 		out[s] = v / float64(n)
+	}
+	return out, n
+}
+
+// Normalized computes each scheme's mean response time across
+// conditions, normalised by the WiFi-TCP baseline — the bars of the
+// paper's Figs. 19 and 21. Conditions missing any configuration are
+// skipped.
+func Normalized(conditions []map[string]time.Duration) map[Scheme]float64 {
+	named := make([]PathScheme, len(Schemes))
+	for i, s := range Schemes {
+		named[i] = PathScheme{Name: s.String(), Configs: configs[s]}
+	}
+	byName, _ := NormalizedBy(conditions, named, "WiFi-TCP")
+	out := map[Scheme]float64{}
+	for _, s := range Schemes {
+		if v, ok := byName[s.String()]; ok {
+			out[s] = v
+		}
 	}
 	return out
 }

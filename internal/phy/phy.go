@@ -8,6 +8,13 @@
 // location is a calibrated profile whose aggregate statistics span the
 // same ranges as the paper's Fig. 6 CDFs. All randomness draws from
 // named simnet streams, so a given (seed, location) is reproducible.
+//
+// Radios are instances of registered models (RegisterRadioModel /
+// Radio): a model fixes the technology-specific parameters (buffer
+// depth, RRC promotion) and a per-instance calibration supplies the
+// measured rates. A Condition holds any number of named paths
+// (PathSet), so a second LTE carrier or a second AP is just another
+// instance; the WiFi/LTE pair fields remain the classic testbed.
 package phy
 
 import (
@@ -153,19 +160,53 @@ func BuildIface(sim *simnet.Sim, name string, p PathProfile) *netem.Iface {
 	return iface
 }
 
-// Condition is one emulated network condition: a WiFi profile and an
-// LTE profile, as used for a measurement run or a replay.
+// Path is one named radio path of a multi-homed client: the interface
+// name the transport layers address it by, plus its calibrated
+// profile.
+type Path struct {
+	Name    string
+	Profile PathProfile
+}
+
+// Condition is one emulated network condition: the set of radio paths
+// a measurement run or a replay sees. The WiFi/LTE pair fields are the
+// paper's classic two-path testbed; Paths, when non-empty, describes
+// an arbitrary path set (dual-LTE, dual-WLAN, three-path, ...) and
+// takes precedence.
 type Condition struct {
 	Name string
 	WiFi PathProfile
 	LTE  PathProfile
+	// Paths is the general N-path form. Leave empty for the classic
+	// {wifi, lte} pair built from the fields above.
+	Paths []Path
 }
 
-// BuildHost wires a two-interface client host ("wifi", "lte") for the
-// condition.
+// NewCondition builds an N-path condition. Path order is significant:
+// it is the host attachment order, hence the probe order and the
+// tie-break preference everywhere above.
+func NewCondition(name string, paths ...Path) Condition {
+	if len(paths) == 0 {
+		panic("phy: NewCondition needs at least one path")
+	}
+	return Condition{Name: name, Paths: paths}
+}
+
+// PathSet returns the condition's paths in attachment order: the
+// explicit Paths list, or the classic {wifi, lte} pair.
+func (c Condition) PathSet() []Path {
+	if len(c.Paths) > 0 {
+		return c.Paths
+	}
+	return []Path{{Name: "wifi", Profile: c.WiFi}, {Name: "lte", Profile: c.LTE}}
+}
+
+// BuildHost wires a multi-homed client host with one interface per
+// path of the condition.
 func BuildHost(sim *simnet.Sim, c Condition) *netem.Host {
 	h := netem.NewHost("client")
-	h.Attach(BuildIface(sim, "wifi", c.WiFi))
-	h.Attach(BuildIface(sim, "lte", c.LTE))
+	for _, p := range c.PathSet() {
+		h.Attach(BuildIface(sim, p.Name, p.Profile))
+	}
 	return h
 }

@@ -74,31 +74,60 @@ const (
 	Multipath
 )
 
-// TransportConfig is one of the paper's six Section 5 configurations.
+// TransportConfig is one replay transport configuration (the paper's
+// Section 5 uses six of them over the WiFi+LTE pair).
 type TransportConfig struct {
 	// Name labels results ("WiFi-TCP", "MPTCP-Coupled-LTE", ...).
 	Name string
 	// Kind selects TCP or MPTCP.
 	Kind TransportKind
-	// Iface is the network used by single-path TCP ("wifi"/"lte").
+	// Iface is the interface used by single-path TCP.
 	Iface string
-	// Primary is the MPTCP primary-subflow network.
+	// Primary is the MPTCP primary-subflow network (subflows open on
+	// every interface the emulated host has).
 	Primary string
 	// CC is the MPTCP congestion coupling.
 	CC mptcp.CongestionMode
 }
 
+// PathName pairs an interface name with the display label used in
+// configuration names ("wifi" → "WiFi").
+type PathName struct {
+	Iface, Label string
+}
+
+// WiFiLTEPaths is the paper's classic pair.
+func WiFiLTEPaths() []PathName {
+	return []PathName{{Iface: "wifi", Label: "WiFi"}, {Iface: "lte", Label: "LTE"}}
+}
+
+// ConfigsFor generates the transport-configuration family for an
+// arbitrary path set, in the paper's legend order: single-path TCP
+// per path, then coupled MPTCP per primary, then decoupled MPTCP per
+// primary — N + 2N configurations for N paths.
+func ConfigsFor(paths []PathName) []TransportConfig {
+	out := make([]TransportConfig, 0, 3*len(paths))
+	for _, p := range paths {
+		out = append(out, TransportConfig{Name: p.Label + "-TCP", Kind: SinglePath, Iface: p.Iface})
+	}
+	for _, cc := range []mptcp.CongestionMode{mptcp.Coupled, mptcp.Decoupled} {
+		label := "Coupled"
+		if cc == mptcp.Decoupled {
+			label = "Decoupled"
+		}
+		for _, p := range paths {
+			out = append(out, TransportConfig{
+				Name: "MPTCP-" + label + "-" + p.Label, Kind: Multipath, Primary: p.Iface, CC: cc,
+			})
+		}
+	}
+	return out
+}
+
 // StandardConfigs returns the paper's six replay configurations in its
 // Fig. 18/20 legend order.
 func StandardConfigs() []TransportConfig {
-	return []TransportConfig{
-		{Name: "WiFi-TCP", Kind: SinglePath, Iface: "wifi"},
-		{Name: "LTE-TCP", Kind: SinglePath, Iface: "lte"},
-		{Name: "MPTCP-Coupled-WiFi", Kind: Multipath, Primary: "wifi", CC: mptcp.Coupled},
-		{Name: "MPTCP-Coupled-LTE", Kind: Multipath, Primary: "lte", CC: mptcp.Coupled},
-		{Name: "MPTCP-Decoupled-WiFi", Kind: Multipath, Primary: "wifi", CC: mptcp.Decoupled},
-		{Name: "MPTCP-Decoupled-LTE", Kind: Multipath, Primary: "lte", CC: mptcp.Decoupled},
-	}
+	return ConfigsFor(WiFiLTEPaths())
 }
 
 // FlowStat records one replayed connection's timing.
