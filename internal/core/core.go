@@ -47,17 +47,26 @@ type Config struct {
 	BackupIfaces []string
 	// RecvBuf overrides the MPTCP connection-level receive buffer.
 	RecvBuf int
-	// RoundRobin selects the ablation scheduler instead of min-SRTT.
+	// Scheduler names the registered MPTCP data scheduler (empty:
+	// mptcp.SchedMinSRTT, the Linux default).
+	Scheduler string
+	// RoundRobin selects the ablation scheduler instead of min-SRTT
+	// (legacy flag; equivalent to Scheduler: mptcp.SchedRoundRobin).
 	RoundRobin bool
 	// SimultaneousJoin is the late-join ablation (all subflows start at
 	// dial time).
 	SimultaneousJoin bool
 }
 
-// Name renders the configuration the way the paper labels it.
+// Name renders the configuration the way the paper labels it; a
+// non-default scheduler is part of the label, since it changes what
+// the measurement means.
 func (c Config) Name() string {
 	if c.Transport == TCP {
 		return fmt.Sprintf("%s-TCP", c.Iface)
+	}
+	if c.Scheduler != "" && c.Scheduler != mptcp.SchedMinSRTT {
+		return fmt.Sprintf("MPTCP(%s, %s, %s)", c.Primary, c.CC, c.Scheduler)
 	}
 	return fmt.Sprintf("MPTCP(%s, %s)", c.Primary, c.CC)
 }
@@ -222,7 +231,12 @@ func (s *Session) Run(cfg Config, dir Direction, size int) Result {
 		// The server applies matching parameters to this connection
 		// (both endpoints must agree on coupling; the receive buffer
 		// bound binds at the data sender).
-		s.mpServer.SetConfig(mptcp.ServerConfig{CC: cfg.CC, Mode: cfg.Mode, RecvBuf: cfg.RecvBuf})
+		// Scheduler is wired to both ends; the legacy RoundRobin flag
+		// stays client-side only, preserving the historical ablation
+		// behaviour the output goldens pin.
+		s.mpServer.SetConfig(mptcp.ServerConfig{
+			CC: cfg.CC, Mode: cfg.Mode, RecvBuf: cfg.RecvBuf, Scheduler: cfg.Scheduler,
+		})
 		mcfg := mptcp.Config{
 			ConnID:           id,
 			Primary:          cfg.Primary,
@@ -230,6 +244,7 @@ func (s *Session) Run(cfg Config, dir Direction, size int) Result {
 			Mode:             cfg.Mode,
 			BackupIfaces:     cfg.BackupIfaces,
 			RecvBuf:          cfg.RecvBuf,
+			Scheduler:        cfg.Scheduler,
 			RoundRobin:       cfg.RoundRobin,
 			SimultaneousJoin: cfg.SimultaneousJoin,
 		}

@@ -86,6 +86,9 @@ type AblationSchedulerResult struct {
 }
 
 // AblationScheduler measures 1 MB MPTCP downloads with each scheduler.
+// It keeps the legacy RoundRobin flag (client-side wiring only) so its
+// output golden stays bit-identical; scenario-schedulers is the full
+// both-ends scheduler comparison over the pluggable Scheduler layer.
 func AblationScheduler(o Options) AblationSchedulerResult {
 	loc := phy.LocLTEMuchBetter
 	trials := o.TrialCount(5)

@@ -438,8 +438,8 @@ func TestRegistryUniqueAndRunnable(t *testing.T) {
 	// benchmarks — and every registered experiment must run and render
 	// under Quick() options.
 	all := engine.All()
-	if len(all) != 27 {
-		t.Fatalf("registry holds %d experiments, want 24 paper + 3 scenario", len(all))
+	if len(all) != 28 {
+		t.Fatalf("registry holds %d experiments, want 24 paper + 4 scenario", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -524,42 +524,102 @@ func TestScenarioShapes(t *testing.T) {
 	}
 }
 
+func TestScenarioSchedulers(t *testing.T) {
+	r := ScenarioSchedulers(Quick())
+	if len(r.Schedulers) < 4 {
+		t.Fatalf("scheduler variants = %d, want >= 4", len(r.Schedulers))
+	}
+	if len(r.Variants) != 2 {
+		t.Fatalf("variants = %d, want comparable + disparate", len(r.Variants))
+	}
+	comparable, disparate := r.Variants[0], r.Variants[1]
+	if comparable.Disparity >= disparate.Disparity {
+		t.Errorf("disparity ordering: comparable %.1f should be below disparate %.1f",
+			comparable.Disparity, disparate.Disparity)
+	}
+	// Config columns: wifi-TCP, lte-TCP, then one MPTCP column per
+	// scheduler in presentation order.
+	wantCfgs := 2 + len(r.Schedulers)
+	for _, v := range r.Variants {
+		if len(v.Configs) != wantCfgs {
+			t.Fatalf("%s: configs = %d, want %d", v.Name, len(v.Configs), wantCfgs)
+		}
+	}
+	bulk := comparable.Mbps[len(comparable.Mbps)-1]
+	minSRTTCol, redundantCol := 2, 4
+	// Bulk flows on comparable paths: the default scheduler aggregates
+	// past the best single path...
+	if bulk[minSRTTCol] <= comparable.BestTCPMbps {
+		t.Errorf("comparable bulk: min-SRTT MPTCP %.2f should beat best TCP %.2f",
+			bulk[minSRTTCol], comparable.BestTCPMbps)
+	}
+	// ...while redundant duplication spends capacity on copies and must
+	// land below it.
+	if bulk[redundantCol] >= bulk[minSRTTCol] {
+		t.Errorf("comparable bulk: redundant %.2f should trail min-SRTT %.2f (duplication cost)",
+			bulk[redundantCol], bulk[minSRTTCol])
+	}
+	// Oracle: baseline + single-path oracle + one oracle per scheduler,
+	// every scheduler compared against the N-path oracle.
+	if want := 2 + len(r.Schedulers); len(r.SchemeNames) != want {
+		t.Fatalf("oracle schemes = %d, want %d", len(r.SchemeNames), want)
+	}
+	if r.Conditions == 0 {
+		t.Fatal("no oracle conditions completed")
+	}
+	for _, name := range r.SchemeNames {
+		if v := r.Normalized[name]; v <= 0 {
+			t.Errorf("scheme %q missing from the normalisation (got %.2f)", name, v)
+		}
+	}
+	// The long-flow app is where MPTCP oracles win (paper Fig. 21): the
+	// default scheduler's oracle must beat the single-path oracle.
+	sp := r.Normalized["Single-Path-TCP Oracle"]
+	ms := r.Normalized["MPTCP-minsrtt Oracle"]
+	if ms >= sp {
+		t.Errorf("minsrtt oracle %.2f should beat single-path oracle %.2f on the long-flow app", ms, sp)
+	}
+}
+
 // quickGolden pins the SHA-256 of every experiment's Quick() output at
 // the default seed. The 24 paper-experiment hashes were captured
 // BEFORE the N-path PathSet refactor, so this test proves the refactor
-// (and any future change) keeps their output bit-identical; the three
-// scenario hashes pin the new experiments' determinism the same way.
+// (and any future change — including the pluggable-scheduler refactor,
+// whose default MinSRTT path must stay bit-identical) keeps their
+// output unchanged; the scenario hashes pin the new experiments'
+// determinism the same way.
 // A mismatch here means experiment calibration changed: that is a
 // deliberate act, never a side effect — recapture with
 // `go run ./cmd/report -quick -json` and say so in the commit.
 var quickGolden = map[string]string{
-	"table1":             "da7ec171726744f9d7456421d6745e4938c3192403275c8ed89cd4aeb4699f62",
-	"figure3":            "22446a640e675c83d4c9eec1f5e4ff2607bab2b4e029ccc1e193a268d753b0da",
-	"figure4":            "1c11d072532616180c3c921182f7852015e7bd4cd41f23c2221669b045535489",
-	"table2":             "04440cf4b58a539247910cd0ae4189985932c0941133169b5f5868839f9d7f1d",
-	"figure6":            "dcb9df2bf0fb9db5ec36c6a44e83eaaf6b065d51f437631f9dd27881319184ab",
-	"figure7":            "51c41c3740e44a1f1ca1b971759b3c945b46f65320fd5407f1dd9833946d2241",
-	"figure8":            "3e5612b3fa567329c8af908fb79c3ab6d03b7bdf735a3d07139b5bbf51cb2f54",
-	"figure9":            "11320924064f837b8d914e064a41c7e913600c716039b8642711be8c503ac418",
-	"figure10":           "4fbbbaecb892aa3bfcc71bdb4a7b6f61b850de81f490b6514156c5076b168cfd",
-	"figure11":           "486f44f39a0cd8f19c6b46610a168d1a62cc4f8895467fe086f851cd00eb5922",
-	"figure12":           "3de96e1a4071f9f653d8ad57e7c139c6b9177ff708ca162f0798c17921a2d44d",
-	"coupling":           "f2e12fbd77bf0b66f9598b5693e27f919ad051164be1a5742e2ba714b7409628",
-	"figure15":           "f34518970449a0d664030f68f52ee40bb70b1c9f208754ee0db781b3d662ef42",
-	"figure16":           "b56630d3237317f0798c697f6a2dd0944842a57e75840fb32742d9c7c7f64cdf",
-	"energy-backup":      "05196a2ce6b95ac196085390b950ea426c349abe50d5dee03c233265f96646bf",
-	"figure17":           "99bab977b60daa79a0176a1a294e3024b2f70f2e48ea0a248df2f0f6020b0f0d",
-	"figure18":           "8af855d73dd470b0f50843520db6cdca6c1b1643959fc1ba572bdf4e590dae34",
-	"figure19":           "e0bf556880af6a613db05e6b285f8c645bd6ff0dff9ad8f9773d8ef10675f994",
-	"figure20":           "e4e09ba0eb6ad2d5103f80566dbb171e07242bd11e8922cd2702a414d714cd45",
-	"figure21":           "a6993ee639d4c8e8d4b24780bf627c0e04f5669dcc39855761f08dee42211fd1",
-	"ablation-join":      "9d42f291ac71e129bad716445c1a2570194e0647ecfaa4f8ef3fdaccfeda2615",
-	"ablation-scheduler": "c82fa75f9c64cb2c2a494f48c82834396cb78b3bda852ca322d91bb0f538c599",
-	"ablation-tail":      "e1addebdf5efc48ef158d2733689a9fd7c6beef2b12038c847a1bdd2948e6c95",
-	"ablation-selector":  "482d15dd59d71fd9774ab254a563a39572d644656212a6ec652e7f3fe56afc3a",
-	"scenario-dual-lte":  "3a094d0f5193541f4eab9e787e272b9a326deb60e57da7093ee66e77d4bcb5e0",
-	"scenario-dual-wlan": "03c0de5058b4a76c07f021c0bd878196a84f25df348bda564e345a600aaeb8b6",
-	"scenario-wifi-2lte": "5e28cd2f73eac00db28d45bedc82639c45a8c7309199e3bc9478a470f47bff6b",
+	"table1":              "da7ec171726744f9d7456421d6745e4938c3192403275c8ed89cd4aeb4699f62",
+	"figure3":             "22446a640e675c83d4c9eec1f5e4ff2607bab2b4e029ccc1e193a268d753b0da",
+	"figure4":             "1c11d072532616180c3c921182f7852015e7bd4cd41f23c2221669b045535489",
+	"table2":              "04440cf4b58a539247910cd0ae4189985932c0941133169b5f5868839f9d7f1d",
+	"figure6":             "dcb9df2bf0fb9db5ec36c6a44e83eaaf6b065d51f437631f9dd27881319184ab",
+	"figure7":             "51c41c3740e44a1f1ca1b971759b3c945b46f65320fd5407f1dd9833946d2241",
+	"figure8":             "3e5612b3fa567329c8af908fb79c3ab6d03b7bdf735a3d07139b5bbf51cb2f54",
+	"figure9":             "11320924064f837b8d914e064a41c7e913600c716039b8642711be8c503ac418",
+	"figure10":            "4fbbbaecb892aa3bfcc71bdb4a7b6f61b850de81f490b6514156c5076b168cfd",
+	"figure11":            "486f44f39a0cd8f19c6b46610a168d1a62cc4f8895467fe086f851cd00eb5922",
+	"figure12":            "3de96e1a4071f9f653d8ad57e7c139c6b9177ff708ca162f0798c17921a2d44d",
+	"coupling":            "f2e12fbd77bf0b66f9598b5693e27f919ad051164be1a5742e2ba714b7409628",
+	"figure15":            "f34518970449a0d664030f68f52ee40bb70b1c9f208754ee0db781b3d662ef42",
+	"figure16":            "b56630d3237317f0798c697f6a2dd0944842a57e75840fb32742d9c7c7f64cdf",
+	"energy-backup":       "05196a2ce6b95ac196085390b950ea426c349abe50d5dee03c233265f96646bf",
+	"figure17":            "99bab977b60daa79a0176a1a294e3024b2f70f2e48ea0a248df2f0f6020b0f0d",
+	"figure18":            "8af855d73dd470b0f50843520db6cdca6c1b1643959fc1ba572bdf4e590dae34",
+	"figure19":            "e0bf556880af6a613db05e6b285f8c645bd6ff0dff9ad8f9773d8ef10675f994",
+	"figure20":            "e4e09ba0eb6ad2d5103f80566dbb171e07242bd11e8922cd2702a414d714cd45",
+	"figure21":            "a6993ee639d4c8e8d4b24780bf627c0e04f5669dcc39855761f08dee42211fd1",
+	"ablation-join":       "9d42f291ac71e129bad716445c1a2570194e0647ecfaa4f8ef3fdaccfeda2615",
+	"ablation-scheduler":  "c82fa75f9c64cb2c2a494f48c82834396cb78b3bda852ca322d91bb0f538c599",
+	"ablation-tail":       "e1addebdf5efc48ef158d2733689a9fd7c6beef2b12038c847a1bdd2948e6c95",
+	"ablation-selector":   "482d15dd59d71fd9774ab254a563a39572d644656212a6ec652e7f3fe56afc3a",
+	"scenario-dual-lte":   "3a094d0f5193541f4eab9e787e272b9a326deb60e57da7093ee66e77d4bcb5e0",
+	"scenario-dual-wlan":  "03c0de5058b4a76c07f021c0bd878196a84f25df348bda564e345a600aaeb8b6",
+	"scenario-wifi-2lte":  "5e28cd2f73eac00db28d45bedc82639c45a8c7309199e3bc9478a470f47bff6b",
+	"scenario-schedulers": "67643cc4e6ea3321ba0fb504d5ee4630f4f82c67394273aea973639d4075a024",
 }
 
 func TestQuickOutputGolden(t *testing.T) {

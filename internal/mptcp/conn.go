@@ -2,8 +2,6 @@ package mptcp
 
 import (
 	"fmt"
-	"sort"
-	"time"
 
 	"multinet/internal/netem"
 	"multinet/internal/simnet"
@@ -39,8 +37,11 @@ type Config struct {
 	// waiting for the primary handshake (ablation for the paper's
 	// late-join effect).
 	SimultaneousJoin bool
-	// RoundRobin replaces the default min-SRTT scheduler with naive
-	// round-robin (ablation: shows why Linux prefers the fastest path).
+	// Scheduler names the registered data scheduler (see
+	// RegisterScheduler); empty means SchedMinSRTT, the Linux default.
+	Scheduler string
+	// RoundRobin is the legacy ablation flag, equivalent to
+	// Scheduler: SchedRoundRobin (ignored when Scheduler is set).
 	RoundRobin bool
 }
 
@@ -82,7 +83,8 @@ type Subflow struct {
 	established bool
 	dead        bool // administratively down
 	outstanding []mapping
-	reinjected  bool // reinjection already performed for current stall
+	dupQueue    []mapping // scheduler-duplicated mappings awaiting send
+	reinjected  bool      // reinjection already performed for current stall
 }
 
 // Name returns the subflow's flow identifier.
@@ -119,9 +121,11 @@ type Conn struct {
 	ooo       []mapping // out-of-order received intervals (sorted)
 	recvTotal int64
 
+	// Scheduling policy (see Scheduler).
+	sched Scheduler
+
 	// Diagnostics.
 	Reinjections int
-	rrCounter    int
 }
 
 // newConn builds the common state.
@@ -129,7 +133,8 @@ func newConn(sim *simnet.Sim, stack *tcp.Stack, host *netem.Host, side tcp.Side,
 	if cfg.ConnID == "" {
 		panic("mptcp: ConnID required")
 	}
-	return &Conn{sim: sim, cfg: cfg, cb: cb, side: side, stack: stack, host: host}
+	return &Conn{sim: sim, cfg: cfg, cb: cb, side: side, stack: stack, host: host,
+		sched: schedulerFor(cfg)}
 }
 
 // Dial opens an MPTCP connection from the client side: the primary
@@ -293,48 +298,31 @@ func (c *Conn) Primary() *Subflow {
 // ConnID returns the connection identifier.
 func (c *Conn) ConnID() string { return c.cfg.ConnID }
 
-// wake offers data to eligible subflows, lowest SRTT first (the Linux
-// default scheduler). Each NotifyData lets that subflow pull mappings
-// until its window fills, so the fastest path is preferred whenever
-// several have room.
+// wake offers data to eligible subflows in the scheduler's priority
+// order. Each NotifyData lets that subflow pull mappings until its
+// window fills, so earlier-ranked paths are preferred whenever several
+// have room. hasDataFor is per-subflow once a scheduler gates
+// admission (or holds per-subflow duplicate queues), so a refusal for
+// one subflow must not starve later ones: continue, never break.
 func (c *Conn) wake() {
-	sfs := c.eligibleSubflows()
+	sfs := c.sched.Rank(c, c.modeEligible())
 	for _, sf := range sfs {
 		if !c.hasDataFor(sf) {
-			break
+			continue
 		}
 		sf.TCP.NotifyData()
 	}
 }
 
-// eligibleSubflows returns established, usable subflows in scheduling
-// priority order: min SRTT first (the Linux default), or rotating
-// round-robin when the ablation flag is set.
-func (c *Conn) eligibleSubflows() []*Subflow {
+// modeEligible returns the established, usable subflows in creation
+// order; the scheduler's Rank imposes the offering order.
+func (c *Conn) modeEligible() []*Subflow {
 	var out []*Subflow
 	for _, sf := range c.subflows {
 		if sf.established && !sf.dead && c.allowedByMode(sf) {
 			out = append(out, sf)
 		}
 	}
-	if c.cfg.RoundRobin {
-		if n := len(out); n > 1 {
-			c.rrCounter++
-			k := c.rrCounter % n
-			out = append(out[k:], out[:k]...)
-		}
-		return out
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		ri, rj := out[i].TCP.SRTT(), out[j].TCP.SRTT()
-		if ri == 0 {
-			ri = time.Hour
-		}
-		if rj == 0 {
-			rj = time.Hour
-		}
-		return ri < rj
-	})
 	return out
 }
 
@@ -359,34 +347,64 @@ func (c *Conn) hasDataFor(sf *Subflow) bool {
 	if !sf.established || sf.dead || !c.allowedByMode(sf) {
 		return false
 	}
+	if c.pruneDup(sf); len(sf.dupQueue) > 0 {
+		return true
+	}
 	if len(c.rtxPool) > 0 {
 		return true
 	}
-	return c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf())
+	return c.sched.Admit(c, sf) &&
+		c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf())
+}
+
+// pruneDup drops duplicate mappings the peer has meanwhile data-acked.
+func (c *Conn) pruneDup(sf *Subflow) {
+	for len(sf.dupQueue) > 0 && sf.dupQueue[0].end() <= c.dataUna {
+		sf.dupQueue = sf.dupQueue[1:]
+	}
+}
+
+// takeFront removes up to max bytes from the head of q, splitting the
+// head mapping in place when it exceeds max.
+func takeFront(q []mapping, max int) (mapping, []mapping) {
+	m := q[0]
+	if m.len > max {
+		q[0].dataSeq += uint64(max)
+		q[0].len -= max
+		m.len = max
+	} else {
+		q = q[1:]
+	}
+	return m, q
 }
 
 // pull is called by a subflow's Source when it has window space.
+// Priority: scheduler-duplicated mappings, then the shared
+// retransmission pool, then fresh data (gated by Scheduler.Admit —
+// evaluated once per pull, on the fresh-data branch only).
 func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
-	if !c.hasDataFor(sf) {
+	if !sf.established || sf.dead || !c.allowedByMode(sf) {
 		return 0, nil, false
+	}
+	c.pruneDup(sf)
+	if len(sf.dupQueue) > 0 {
+		var m mapping
+		m, sf.dupQueue = takeFront(sf.dupQueue, max)
+		sf.outstanding = append(sf.outstanding, m)
+		return m.len, &DSS{DataSeq: m.dataSeq, Len: m.len, DataAck: c.rcvNxt}, true
 	}
 	// Discard reinjected mappings the peer has meanwhile data-acked.
 	for len(c.rtxPool) > 0 && c.rtxPool[0].end() <= c.dataUna {
 		c.rtxPool = c.rtxPool[1:]
 	}
-	if len(c.rtxPool) == 0 && !(c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf())) {
+	fresh := c.dataNxt < c.sendTotal && c.dataNxt < c.dataUna+uint64(c.cfg.recvBuf()) &&
+		c.sched.Admit(c, sf)
+	if len(c.rtxPool) == 0 && !fresh {
 		return 0, nil, false
 	}
 	var m mapping
 	if len(c.rtxPool) > 0 {
-		m = c.rtxPool[0]
-		if m.len > max {
-			c.rtxPool[0].dataSeq += uint64(max)
-			c.rtxPool[0].len -= max
-			m.len = max
-		} else {
-			c.rtxPool = c.rtxPool[1:]
-		}
+		m, c.rtxPool = takeFront(c.rtxPool, max)
 	} else {
 		n := c.sendTotal - c.dataNxt
 		if lim := c.dataUna + uint64(c.cfg.recvBuf()); c.dataNxt+n > lim {
@@ -397,23 +415,44 @@ func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
 		}
 		m = mapping{dataSeq: c.dataNxt, len: int(n)}
 		c.dataNxt += n
+		if d, ok := c.sched.(duplicator); ok {
+			d.onFreshMapping(c, sf, m)
+		}
 	}
 	sf.outstanding = append(sf.outstanding, m)
 	return m.len, &DSS{DataSeq: m.dataSeq, Len: m.len, DataAck: c.rcvNxt}, true
 }
 
-// onMappingAcked removes a subflow-acknowledged mapping.
+// onMappingAcked removes the subflow-acknowledged byte range from
+// sf's outstanding records. Matching is by range overlap, not exact
+// (dataSeq, len) identity: pull splits oversized reinjected mappings
+// to the puller's window, so a subflow can hold an outstanding record
+// that a later ack only partially covers (e.g. the original {seq, len}
+// after a split re-pull of the same range). Overlapped spans are
+// trimmed and any unacked remainder is kept, so no record is stranded
+// to be reinjected forever.
 func (c *Conn) onMappingAcked(sf *Subflow, opt any) {
 	dss, ok := opt.(*DSS)
 	if !ok || dss.Len == 0 {
 		return
 	}
-	for i, m := range sf.outstanding {
-		if m.dataSeq == dss.DataSeq && m.len == dss.Len {
-			sf.outstanding = append(sf.outstanding[:i], sf.outstanding[i+1:]...)
-			break
+	ack := mapping{dataSeq: dss.DataSeq, len: dss.Len}
+	// Build into a fresh slice: a mid-record ack splits one record into
+	// two, so filtering in place could overtake the read cursor.
+	kept := make([]mapping, 0, len(sf.outstanding)+1)
+	for _, m := range sf.outstanding {
+		if m.end() <= ack.dataSeq || m.dataSeq >= ack.end() {
+			kept = append(kept, m) // disjoint
+			continue
+		}
+		if m.dataSeq < ack.dataSeq {
+			kept = append(kept, mapping{dataSeq: m.dataSeq, len: int(ack.dataSeq - m.dataSeq)})
+		}
+		if m.end() > ack.end() {
+			kept = append(kept, mapping{dataSeq: ack.end(), len: int(m.end() - ack.end())})
 		}
 	}
+	sf.outstanding = kept
 	sf.reinjected = false
 	c.maybeClose()
 	c.wake()
@@ -531,6 +570,7 @@ func (c *Conn) subflowDied(sf *Subflow) {
 	}
 	sf.dead = true
 	c.reinject(sf, true)
+	sf.dupQueue = nil // duplicates: the original copy lives elsewhere
 	sf.TCP.Abort()
 	c.wake()
 }

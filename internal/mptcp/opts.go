@@ -7,11 +7,13 @@
 //     additional subflow (MP_JOIN) is initiated on each remaining
 //     interface — so the second path joins at least one handshake late,
 //     the mechanism behind the paper's central short-flow finding.
-//   - Data is striped across subflows by a min-SRTT scheduler with
-//     per-subflow congestion windows; DSS options map subflow bytes to
-//     the connection-level sequence space, and the receiver reassembles
-//     in data-sequence order (head-of-line blocking across subflows is
-//     therefore real).
+//   - Data is striped across subflows by a pluggable Scheduler
+//     (min-SRTT by default, as in Linux; round-robin, redundant, and
+//     BLEST/ECF-style HoL-aware policies are registered alongside it)
+//     with per-subflow congestion windows; DSS options map subflow
+//     bytes to the connection-level sequence space, and the receiver
+//     reassembles in data-sequence order (head-of-line blocking across
+//     subflows is therefore real).
 //   - Congestion control is either decoupled (per-subflow Reno) or
 //     coupled (LIA, RFC 6356).
 //   - Full-MPTCP mode uses all subflows; Backup mode (MP_PRIO) keeps

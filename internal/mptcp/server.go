@@ -16,6 +16,10 @@ type ServerConfig struct {
 	Mode Mode
 	// RecvBuf bounds server-side scheduling ahead of the data-ACK.
 	RecvBuf int
+	// Scheduler names the data scheduler applied to accepted
+	// connections (empty: SchedMinSRTT). The server side matters most
+	// for downloads — the data sender runs the scheduler.
+	Scheduler string
 }
 
 // Server accepts MPTCP connections on a server-side TCP stack,
@@ -64,11 +68,12 @@ func (s *Server) firstSegment(tc *tcp.Conn, seg *tcp.Segment) {
 	switch opt := seg.Opt.(type) {
 	case *MPCapable:
 		c := newConn(s.sim, s.stack, nil, tcp.ServerSide, Config{
-			ConnID:  opt.ConnID,
-			CC:      s.cfg.CC,
-			Mode:    s.cfg.Mode,
-			RecvBuf: s.cfg.RecvBuf,
-			Primary: tc.Iface().Name,
+			ConnID:    opt.ConnID,
+			CC:        s.cfg.CC,
+			Mode:      s.cfg.Mode,
+			RecvBuf:   s.cfg.RecvBuf,
+			Scheduler: s.cfg.Scheduler,
+			Primary:   tc.Iface().Name,
 		}, Callbacks{})
 		s.conns[opt.ConnID] = c
 		c.adoptSubflow(tc, tc.Iface(), false)

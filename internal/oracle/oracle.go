@@ -112,6 +112,36 @@ func ForPaths(labels []string) (schemes []PathScheme, baseline string) {
 	return schemes, baseline
 }
 
+// ForSchedulers generates the scheduler-comparison oracle family over
+// the configuration names of replay.SchedulerConfigsFor: the
+// first-label TCP baseline, the single-path oracle over all N
+// alternatives (the N-path oracle every scheduler is normalised
+// against), and one oracle per scheduler that knows the best primary
+// for it ("MPTCP-<scheduler> Oracle" choosing among
+// "MPTCP-<scheduler>-<Label>").
+func ForSchedulers(labels, schedulers []string) (schemes []PathScheme, baseline string) {
+	if len(labels) == 0 {
+		return nil, ""
+	}
+	baseline = labels[0] + "-TCP"
+	tcp := make([]string, len(labels))
+	for i, l := range labels {
+		tcp[i] = l + "-TCP"
+	}
+	schemes = []PathScheme{
+		{Name: baseline, Configs: []string{baseline}},
+		{Name: "Single-Path-TCP Oracle", Configs: tcp},
+	}
+	for _, s := range schedulers {
+		cfgs := make([]string, len(labels))
+		for i, l := range labels {
+			cfgs[i] = "MPTCP-" + s + "-" + l
+		}
+		schemes = append(schemes, PathScheme{Name: "MPTCP-" + s + " Oracle", Configs: cfgs})
+	}
+	return schemes, baseline
+}
+
 // PickBest returns the minimum response time over the candidate
 // configurations. ok is false if any candidate is missing.
 func PickBest(perConfig map[string]time.Duration, candidates []string) (time.Duration, bool) {

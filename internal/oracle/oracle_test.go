@@ -97,3 +97,31 @@ func TestSchemeStrings(t *testing.T) {
 		}
 	}
 }
+
+func TestForSchedulers(t *testing.T) {
+	scheds := []string{"minsrtt", "roundrobin", "redundant", "holaware"}
+	schemes, baseline := ForSchedulers([]string{"WiFi", "LTE"}, scheds)
+	if baseline != "WiFi-TCP" {
+		t.Fatalf("baseline = %q, want WiFi-TCP", baseline)
+	}
+	if len(schemes) != 2+len(scheds) {
+		t.Fatalf("schemes = %d, want baseline + single-path + %d scheduler oracles",
+			len(schemes), len(scheds))
+	}
+	if schemes[1].Name != "Single-Path-TCP Oracle" || len(schemes[1].Configs) != 2 {
+		t.Fatalf("second scheme = %+v, want the N-path single-path oracle", schemes[1])
+	}
+	for i, s := range scheds {
+		got := schemes[2+i]
+		if got.Name != "MPTCP-"+s+" Oracle" {
+			t.Errorf("scheme %d name = %q, want MPTCP-%s Oracle", 2+i, got.Name, s)
+		}
+		want := []string{"MPTCP-" + s + "-WiFi", "MPTCP-" + s + "-LTE"}
+		if len(got.Configs) != 2 || got.Configs[0] != want[0] || got.Configs[1] != want[1] {
+			t.Errorf("scheme %q configs = %v, want %v", got.Name, got.Configs, want)
+		}
+	}
+	if s, b := ForSchedulers(nil, scheds); s != nil || b != "" {
+		t.Fatal("empty labels should give no schemes")
+	}
+}

@@ -88,6 +88,9 @@ type TransportConfig struct {
 	Primary string
 	// CC is the MPTCP congestion coupling.
 	CC mptcp.CongestionMode
+	// Scheduler names the MPTCP data scheduler, applied at both ends
+	// (empty: mptcp.SchedMinSRTT).
+	Scheduler string
 }
 
 // PathName pairs an interface name with the display label used in
@@ -128,6 +131,29 @@ func ConfigsFor(paths []PathName) []TransportConfig {
 // Fig. 18/20 legend order.
 func StandardConfigs() []TransportConfig {
 	return ConfigsFor(WiFiLTEPaths())
+}
+
+// SchedulerConfigsFor generates the scheduler-comparison family for a
+// path set: single-path TCP per path, then — per named scheduler, in
+// the given order — one decoupled-CC MPTCP configuration per primary
+// ("MPTCP-<scheduler>-<Label>"). N + S*N configurations for N paths
+// and S schedulers; decoupled CC isolates the scheduler effect from
+// congestion coupling (the paper's Figs. 19/21 show decoupled is the
+// stronger MPTCP variant).
+func SchedulerConfigsFor(paths []PathName, schedulers []string) []TransportConfig {
+	out := make([]TransportConfig, 0, len(paths)*(1+len(schedulers)))
+	for _, p := range paths {
+		out = append(out, TransportConfig{Name: p.Label + "-TCP", Kind: SinglePath, Iface: p.Iface})
+	}
+	for _, s := range schedulers {
+		for _, p := range paths {
+			out = append(out, TransportConfig{
+				Name: "MPTCP-" + s + "-" + p.Label, Kind: Multipath,
+				Primary: p.Iface, CC: mptcp.Decoupled, Scheduler: s,
+			})
+		}
+	}
+	return out
 }
 
 // FlowStat records one replayed connection's timing.
@@ -179,7 +205,7 @@ func Run(seed int64, cond phy.Condition, rec *Recording, tc TransportConfig) Res
 		e.serverStack.Bind(ifc)
 	}
 	if tc.Kind == Multipath {
-		e.mpServer = mptcp.NewServer(sim, e.serverStack, mptcp.ServerConfig{CC: tc.CC})
+		e.mpServer = mptcp.NewServer(sim, e.serverStack, mptcp.ServerConfig{CC: tc.CC, Scheduler: tc.Scheduler})
 		e.mpServer.OnConn = e.acceptMPTCP
 	} else {
 		e.serverStack.Accept = e.acceptTCP
@@ -306,9 +332,10 @@ func (e *engine) acceptTCP(c *tcp.Conn) {
 func (e *engine) startMPTCPFlow(st *flowState) {
 	spec := st.spec
 	mptcp.Dial(e.sim, e.clientStack, e.host, mptcp.Config{
-		ConnID:  flowConnID(spec.ID),
-		Primary: e.tc.Primary,
-		CC:      e.tc.CC,
+		ConnID:    flowConnID(spec.ID),
+		Primary:   e.tc.Primary,
+		CC:        e.tc.CC,
+		Scheduler: e.tc.Scheduler,
 	}, mptcp.Callbacks{
 		OnEstablished: func(c *mptcp.Conn) { c.Send(spec.RequestBytes) },
 		OnData: func(c *mptcp.Conn, total int64) {

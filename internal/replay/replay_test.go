@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"multinet/internal/apps"
+	"multinet/internal/mptcp"
 	"multinet/internal/phy"
 )
 
@@ -168,5 +169,43 @@ func TestFlowStatRate(t *testing.T) {
 	f := FlowStat{Start: 0, End: time.Second, Bytes: 125_000}
 	if got := f.RateKbps(); got < 999 || got > 1001 {
 		t.Fatalf("rate = %.1f kbit/s, want 1000", got)
+	}
+}
+
+func TestSchedulerConfigsForShape(t *testing.T) {
+	scheds := []string{"minsrtt", "holaware"}
+	tcs := SchedulerConfigsFor(WiFiLTEPaths(), scheds)
+	if want := 2 + len(scheds)*2; len(tcs) != want {
+		t.Fatalf("configs = %d, want %d (N TCP + S*N MPTCP)", len(tcs), want)
+	}
+	if tcs[0].Name != "WiFi-TCP" || tcs[0].Kind != SinglePath ||
+		tcs[1].Name != "LTE-TCP" || tcs[1].Kind != SinglePath {
+		t.Fatalf("leading TCP configs wrong: %+v %+v", tcs[0], tcs[1])
+	}
+	want := []struct{ name, primary, sched string }{
+		{"MPTCP-minsrtt-WiFi", "wifi", "minsrtt"},
+		{"MPTCP-minsrtt-LTE", "lte", "minsrtt"},
+		{"MPTCP-holaware-WiFi", "wifi", "holaware"},
+		{"MPTCP-holaware-LTE", "lte", "holaware"},
+	}
+	for i, w := range want {
+		tc := tcs[2+i]
+		if tc.Name != w.name || tc.Primary != w.primary || tc.Scheduler != w.sched ||
+			tc.Kind != Multipath || tc.CC != mptcp.Decoupled {
+			t.Errorf("config %d = %+v, want %+v (decoupled CC)", 2+i, tc, w)
+		}
+	}
+}
+
+func TestSchedulerConfigsReplayComplete(t *testing.T) {
+	// Every scheduler variant must drive a full replay to completion.
+	rec := Record(apps.DropboxClick)
+	for _, tc := range SchedulerConfigsFor(WiFiLTEPaths(), mptcp.SchedulerNames()) {
+		if tc.Kind != Multipath {
+			continue
+		}
+		if res := Run(3, fastCond, rec, tc); !res.Completed {
+			t.Fatalf("%s: replay incomplete", tc.Name)
+		}
 	}
 }

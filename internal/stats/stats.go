@@ -54,8 +54,11 @@ func (e *ECDF) At(x float64) float64 {
 	return float64(i) / float64(len(e.sorted))
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank
-// interpolation; Quantile(0.5) is the median.
+// Quantile returns the q-quantile using linear interpolation between
+// order statistics (type-7 in the Hyndman–Fan taxonomy, the R/NumPy
+// default); Quantile(0.5) is the median. q is clamped to [0, 1]:
+// q <= 0 yields the minimum, q >= 1 the maximum. An empty
+// distribution yields NaN.
 func (e *ECDF) Quantile(q float64) float64 {
 	if len(e.sorted) == 0 {
 		return math.NaN()

@@ -55,6 +55,43 @@ func TestECDFQuantile(t *testing.T) {
 	}
 }
 
+func TestECDFQuantileEdgeCases(t *testing.T) {
+	// Empty distribution: every quantile is NaN.
+	empty := NewECDF(nil)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := empty.Quantile(q); !math.IsNaN(got) {
+			t.Fatalf("empty Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// Single sample: every quantile is that sample.
+	single := NewECDF([]float64{7})
+	for _, q := range []float64{-1, 0, 0.3, 0.5, 1, 2} {
+		if got := single.Quantile(q); got != 7 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	// Out-of-range q clamps to min/max rather than extrapolating.
+	e := NewECDF([]float64{1, 2, 3})
+	if got := e.Quantile(-0.5); got != 1 {
+		t.Fatalf("Quantile(-0.5) = %v, want min 1", got)
+	}
+	if got := e.Quantile(1.5); got != 3 {
+		t.Fatalf("Quantile(1.5) = %v, want max 3", got)
+	}
+	// The contract is LINEAR interpolation between order statistics
+	// (type-7), not nearest rank: between the two samples of {0, 10}
+	// the quarter-quantile is 2.5, where nearest-rank would snap to a
+	// sample.
+	two := NewECDF([]float64{0, 10})
+	if got := two.Quantile(0.25); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("Quantile(0.25) over {0,10} = %v, want 2.5 (linear interpolation)", got)
+	}
+	four := NewECDF([]float64{1, 2, 3, 4})
+	if got := four.Median(); math.Abs(got-2.5) > 1e-9 {
+		t.Fatalf("even-count median = %v, want 2.5", got)
+	}
+}
+
 func TestECDFAddKeepsSorted(t *testing.T) {
 	e := &ECDF{}
 	for _, x := range []float64{5, 1, 3, 2, 4} {
