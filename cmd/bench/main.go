@@ -1,0 +1,361 @@
+// Command bench runs the repository's benchmark suite outside `go
+// test` and records the results as a machine-readable report — the
+// repo's bench trajectory artifact.
+//
+// Two benchmark families run:
+//
+//   - kernel micro-benchmarks: TCP bulk transfers and MPTCP two-subflow
+//     transfers over the simulated WiFi+LTE pair, the per-packet hot
+//     path every experiment hammers;
+//   - registry experiments: every harness in the engine registry at the
+//     quick (test-sized) sweep options, the same set cmd/report runs.
+//
+// Usage:
+//
+//	bench [-out BENCH_report.json] [-baseline BENCH_baseline.json]
+//	      [-check] [-rebase] [-maxslow 1.15] [-count 5] [-benchtime 1s]
+//	      [-only name[,name...]] [-skip-experiments]
+//
+// -out writes the report (ns/op, B/op, allocs/op per benchmark).
+// -baseline names the committed reference report. With -check, the run
+// fails (exit 1) if any benchmark regresses against the baseline:
+// allocs/op may never increase (exact and machine-independent), and
+// ns/op may not exceed the baseline by more than the -maxslow factor.
+// The ns/op gate arms only when the baseline was recorded on the same
+// goos/goarch/CPU-count class as this run — a wall-clock floor from
+// foreign hardware would only produce false failures. With -rebase,
+// the baseline file is rewritten from this run's results (commit it to
+// accept a new performance floor). -only selects benchmarks by name.
+//
+// Each benchmark runs -count times; the reported ns/op is the minimum
+// (the robust noise-resistant estimator) and allocs/op the maximum, so
+// the -check gate compares the machine's best speed and worst
+// allocation behaviour.
+//
+// CI runs `bench -check` on every push; see .github/workflows/ci.yml
+// and the "Benchmark trajectory" section of EXPERIMENTS.md.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"multinet/internal/experiments" // importing registers every harness
+	"multinet/internal/experiments/engine"
+	"multinet/internal/mptcp"
+	"multinet/internal/netem"
+	"multinet/internal/simnet"
+	"multinet/internal/tcp"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name     string  `json:"name"`
+	Runs     int     `json:"runs"`
+	NsPerOp  float64 `json:"ns_per_op"`
+	BPerOp   int64   `json:"bytes_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the serialised benchmark trajectory artifact.
+type Report struct {
+	GoOS    string   `json:"goos"`
+	GoArch  string   `json:"goarch"`
+	NumCPU  int      `json:"num_cpu"`
+	Results []Result `json:"results"`
+}
+
+// bench is a named benchmark body.
+type bench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// tcpDownload transfers size bytes server→client over one fixed-rate
+// duplex interface — the plain-TCP kernel hot path.
+func tcpDownload(b *testing.B, size int, loss float64) {
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i + 1))
+		cfg := func(stream string) netem.LinkConfig {
+			return netem.LinkConfig{
+				PropDelay:  15 * time.Millisecond,
+				LossProb:   loss,
+				RNG:        sim.RNG(stream),
+				QueueLimit: 200,
+			}
+		}
+		up := netem.NewFixedLink(sim, 20, cfg("loss/up"))
+		down := netem.NewFixedLink(sim, 20, cfg("loss/down"))
+		iface := netem.NewIface(sim, "wifi", up, down)
+		client := tcp.NewStack(sim, tcp.ClientSide)
+		server := tcp.NewStack(sim, tcp.ServerSide)
+		client.Bind(iface)
+		server.Bind(iface)
+		var done bool
+		server.Accept = func(c *tcp.Conn) {
+			c.SetCallbacks(tcp.Callbacks{OnEstablished: func(c *tcp.Conn) {
+				c.Send(size)
+				c.Close()
+			}})
+		}
+		client.Dial(iface, "bench", tcp.Config{Callbacks: tcp.Callbacks{
+			OnData: func(c *tcp.Conn, total int64) { done = done || total >= int64(size) },
+		}})
+		sim.Run()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+	b.SetBytes(int64(size))
+}
+
+// mptcpDownload transfers size bytes over a two-subflow MPTCP
+// connection (10 Mbit/s 15 ms WiFi + 8 Mbit/s 30 ms LTE).
+func mptcpDownload(b *testing.B, size int, cc mptcp.CongestionMode) {
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(int64(i + 1))
+		mk := func(name string, mbps float64, owd time.Duration) *netem.Iface {
+			cfg := netem.LinkConfig{PropDelay: owd, QueueLimit: 150}
+			up := netem.NewFixedLink(sim, mbps, cfg)
+			down := netem.NewFixedLink(sim, mbps, cfg)
+			return netem.NewIface(sim, name, up, down)
+		}
+		wifi := mk("wifi", 10, 15*time.Millisecond)
+		lte := mk("lte", 8, 30*time.Millisecond)
+		host := netem.NewHost("client")
+		host.Attach(wifi)
+		host.Attach(lte)
+		client := tcp.NewStack(sim, tcp.ClientSide)
+		server := tcp.NewStack(sim, tcp.ServerSide)
+		for _, ifc := range []*netem.Iface{wifi, lte} {
+			client.Bind(ifc)
+			server.Bind(ifc)
+		}
+		srv := mptcp.NewServer(sim, server, mptcp.ServerConfig{CC: cc})
+		srv.OnConn = func(c *mptcp.Conn) {
+			c.Send(size)
+			c.Close()
+		}
+		var done bool
+		mptcp.Dial(sim, client, host, mptcp.Config{ConnID: "bench", Primary: "wifi", CC: cc},
+			mptcp.Callbacks{OnData: func(c *mptcp.Conn, total int64) {
+				done = done || total >= int64(size)
+			}})
+		sim.Run()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+	b.SetBytes(int64(size))
+}
+
+// kernelBenchmarks is the fixed micro-benchmark set guarding the
+// per-packet hot path.
+func kernelBenchmarks() []bench {
+	return []bench{
+		{"tcp/download-100KB", func(b *testing.B) { tcpDownload(b, 100<<10, 0) }},
+		{"tcp/download-1MB", func(b *testing.B) { tcpDownload(b, 1<<20, 0) }},
+		{"tcp/download-1MB-lossy", func(b *testing.B) { tcpDownload(b, 1<<20, 0.02) }},
+		{"mptcp/download-1MB-decoupled", func(b *testing.B) { mptcpDownload(b, 1<<20, mptcp.Decoupled) }},
+		{"mptcp/download-1MB-coupled", func(b *testing.B) { mptcpDownload(b, 1<<20, mptcp.Coupled) }},
+		{"mptcp/download-10KB", func(b *testing.B) { mptcpDownload(b, 10<<10, mptcp.Decoupled) }},
+	}
+}
+
+// experimentBenchmarks wraps every registered experiment at quick
+// options, exactly the set cmd/report -quick runs.
+func experimentBenchmarks() []bench {
+	var out []bench
+	for _, e := range engine.All() {
+		e := e
+		out = append(out, bench{
+			name: "experiment/" + e.Meta.Name,
+			fn: func(b *testing.B) {
+				o := experiments.Quick()
+				o.Workers = 1 // sequential: benchmark the kernel, not the pool
+				for i := 0; i < b.N; i++ {
+					_ = e.Run(o)
+				}
+			},
+		})
+	}
+	return out
+}
+
+// envMatches reports whether the baseline was recorded on the same
+// machine class as this run. ns/op floors are only meaningful on
+// matching hardware; allocs/op are exact everywhere.
+func envMatches(base, cur Report) bool {
+	return base.GoOS == cur.GoOS && base.GoArch == cur.GoArch && base.NumCPU == cur.NumCPU
+}
+
+// compare checks cur against base, returning regression descriptions.
+// gateNs disables the ns/op comparison (used when the baseline comes
+// from different hardware, where a wall-clock floor is meaningless).
+func compare(base, cur []Result, maxSlow float64, gateNs bool) []string {
+	baseBy := make(map[string]Result, len(base))
+	for _, r := range base {
+		baseBy[r.Name] = r
+	}
+	var bad []string
+	for _, r := range cur {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			continue // new benchmark: no baseline yet
+		}
+		if r.AllocsOp > b.AllocsOp {
+			bad = append(bad, fmt.Sprintf("%s: allocs/op %d -> %d (any increase fails)",
+				r.Name, b.AllocsOp, r.AllocsOp))
+		}
+		if gateNs && b.NsPerOp > 0 && r.NsPerOp > b.NsPerOp*maxSlow {
+			bad = append(bad, fmt.Sprintf("%s: ns/op %.0f -> %.0f (>%.0f%% slower)",
+				r.Name, b.NsPerOp, r.NsPerOp, (maxSlow-1)*100))
+		}
+	}
+	return bad
+}
+
+func loadReport(path string) (Report, error) {
+	var rep Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return rep, err
+	}
+	err = json.Unmarshal(data, &rep)
+	return rep, err
+}
+
+func writeReport(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func main() {
+	out := flag.String("out", "BENCH_report.json", "write the benchmark report here ('' to skip)")
+	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline report to compare against")
+	check := flag.Bool("check", false, "exit non-zero on regression vs the baseline")
+	rebase := flag.Bool("rebase", false, "rewrite the baseline from this run")
+	maxSlow := flag.Float64("maxslow", 1.15, "ns/op regression factor tolerated by -check")
+	only := flag.String("only", "", "comma-separated benchmark names to run (default: all)")
+	skipExp := flag.Bool("skip-experiments", false, "run only the kernel micro-benchmarks")
+	count := flag.Int("count", 5, "repetitions per benchmark (min ns/op, max allocs/op reported)")
+	benchtime := flag.String("benchtime", "", "per-repetition benchmark time (go test -benchtime syntax)")
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
+			fmt.Fprintln(os.Stderr, "bad -benchtime:", err)
+			os.Exit(2)
+		}
+	}
+	if *count < 1 {
+		*count = 1
+	}
+
+	benches := kernelBenchmarks()
+	if !*skipExp {
+		benches = append(benches, experimentBenchmarks()...)
+	}
+	if *only != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				want[n] = true
+			}
+		}
+		kept := benches[:0]
+		for _, bm := range benches {
+			if want[bm.name] {
+				kept = append(kept, bm)
+				delete(want, bm.name)
+			}
+		}
+		if len(want) > 0 {
+			names := make([]string, 0, len(benches))
+			for _, bm := range benches {
+				names = append(names, bm.name)
+			}
+			fmt.Fprintf(os.Stderr, "unknown benchmark(s) in -only; valid names: %s\n",
+				strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		benches = kept
+	}
+
+	rep := Report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
+	for _, bm := range benches {
+		start := time.Now()
+		var res Result
+		for k := 0; k < *count; k++ {
+			r := testing.Benchmark(bm.fn)
+			ns := float64(r.T.Nanoseconds()) / float64(r.N)
+			if k == 0 || ns < res.NsPerOp {
+				res.NsPerOp = ns
+			}
+			if k == 0 || r.AllocsPerOp() > res.AllocsOp {
+				res.AllocsOp = r.AllocsPerOp()
+				res.BPerOp = r.AllocedBytesPerOp()
+			}
+			res.Runs += r.N
+		}
+		res.Name = bm.name
+		rep.Results = append(rep.Results, res)
+		fmt.Fprintf(os.Stderr, "%-32s %10.0f ns/op %8d B/op %6d allocs/op  (n=%d, %v)\n",
+			bm.name, res.NsPerOp, res.BPerOp, res.AllocsOp, res.Runs,
+			time.Since(start).Round(time.Millisecond))
+	}
+
+	if *out != "" {
+		if err := writeReport(*out, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "writing report:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "report written to %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+
+	if *rebase {
+		if err := writeReport(*baseline, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "rewriting baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "baseline %s rewritten; commit it to accept the new floor\n", *baseline)
+		return
+	}
+
+	if *check {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		gateNs := envMatches(base, rep)
+		if !gateNs {
+			fmt.Fprintf(os.Stderr,
+				"baseline %s was recorded on %s/%s (%d CPUs), this is %s/%s (%d CPUs): "+
+					"gating allocs/op only; run -rebase on this machine class to arm the ns/op gate\n",
+				*baseline, base.GoOS, base.GoArch, base.NumCPU, rep.GoOS, rep.GoArch, rep.NumCPU)
+		}
+		if bad := compare(base.Results, rep.Results, *maxSlow, gateNs); len(bad) > 0 {
+			fmt.Fprintln(os.Stderr, "benchmark regressions vs", *baseline+":")
+			for _, line := range bad {
+				fmt.Fprintln(os.Stderr, "  "+line)
+			}
+			os.Exit(1)
+		}
+		if gateNs {
+			fmt.Fprintf(os.Stderr, "no regressions vs %s (allocs/op exact, ns/op within %.0f%%)\n",
+				*baseline, (*maxSlow-1)*100)
+		} else {
+			fmt.Fprintf(os.Stderr, "no allocs/op regressions vs %s\n", *baseline)
+		}
+	}
+}

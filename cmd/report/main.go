@@ -24,7 +24,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"multinet/internal/experiments" // importing registers every harness
@@ -79,19 +78,10 @@ func main() {
 		o.Workers = *par
 	}
 
-	todo := engine.All()
-	if *only != "" {
-		todo = todo[:0]
-		for _, name := range strings.Split(*only, ",") {
-			name = strings.TrimSpace(name)
-			e, ok := engine.Lookup(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q; valid names: %s\n",
-					name, strings.Join(engine.Names(), ", "))
-				os.Exit(2)
-			}
-			todo = append(todo, e)
-		}
+	todo, err := engine.Select(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 
 	var results []jsonResult

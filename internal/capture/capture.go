@@ -68,9 +68,12 @@ type Sniffer struct {
 	records []Record
 }
 
-// NewSniffer creates an empty sniffer.
+// NewSniffer creates an empty sniffer. The record buffer is pre-sized:
+// any attached experiment captures at least a handshake's worth of
+// packets, and starting at a page of records keeps the early growth
+// reallocations out of the per-packet tap path.
 func NewSniffer(sim *simnet.Sim) *Sniffer {
-	return &Sniffer{sim: sim}
+	return &Sniffer{sim: sim, records: make([]Record, 0, 512)}
 }
 
 // Attach installs taps on the interface for both send and receive
@@ -108,7 +111,9 @@ func (s *Sniffer) Len() int { return len(s.records) }
 // Reset discards captured records.
 func (s *Sniffer) Reset() { s.records = s.records[:0] }
 
-// Filter returns the records matching keep.
+// Filter returns the records matching keep. Single pass: keep may be
+// stateful, and Filter runs at analysis time, not on the per-packet
+// hot path.
 func (s *Sniffer) Filter(keep func(*Record) bool) []Record {
 	var out []Record
 	for i := range s.records {

@@ -95,7 +95,7 @@ type Meter struct {
 	stateStart time.Duration
 	joules     float64 // radio energy above base, integrated to stateStart
 	trace      []Sample
-	timer      *simnet.Timer
+	timer      simnet.Timer
 
 	packets int
 }
@@ -114,14 +114,15 @@ func (m *Meter) Attach(iface *netem.Iface) {
 	iface.AddRecvTap(func(p *netem.Packet) { m.OnPacket() })
 }
 
+func meterDemoteToTail(a any) { a.(*Meter).demoteToTail() }
+func meterDemoteToIdle(a any) { a.(*Meter).demoteToIdle() }
+
 // OnPacket registers radio activity at the current instant.
 func (m *Meter) OnPacket() {
 	m.packets++
 	m.transition(Active)
-	if m.timer != nil {
-		m.timer.Stop()
-	}
-	m.timer = m.sim.After(m.model.ActiveHold, m.demoteToTail)
+	m.timer.Stop()
+	m.timer = m.sim.AfterArg(m.model.ActiveHold, meterDemoteToTail, m)
 }
 
 func (m *Meter) demoteToTail() {
@@ -129,7 +130,7 @@ func (m *Meter) demoteToTail() {
 		return
 	}
 	m.transition(Tail)
-	m.timer = m.sim.After(m.model.TailDuration, m.demoteToIdle)
+	m.timer = m.sim.AfterArg(m.model.TailDuration, meterDemoteToIdle, m)
 }
 
 func (m *Meter) demoteToIdle() {

@@ -20,6 +20,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -165,4 +166,34 @@ func Names() []string {
 		out[i] = e.Meta.Name
 	}
 	return out
+}
+
+// Select resolves a comma-separated experiment-name list (the
+// cmd/report -only syntax) against the registry. Whitespace around
+// names and empty entries (doubled or trailing commas) are ignored; an
+// empty csv selects every experiment in paper order. An unknown name
+// is an error listing the valid names, so callers can exit non-zero
+// instead of silently running nothing.
+func Select(csv string) ([]Experiment, error) {
+	if strings.TrimSpace(csv) == "" {
+		return All(), nil
+	}
+	var out []Experiment
+	for _, name := range strings.Split(csv, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		e, ok := Lookup(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q; valid names: %s",
+				name, strings.Join(Names(), ", "))
+		}
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no experiments selected by %q; valid names: %s",
+			csv, strings.Join(Names(), ", "))
+	}
+	return out, nil
 }

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 )
 
@@ -163,5 +164,42 @@ func TestOptionsDefaults(t *testing.T) {
 	}
 	if (Options{Workers: 8}).Serial().WorkerCount() != 1 {
 		t.Fatal("Serial should force one worker")
+	}
+}
+
+func TestSelect(t *testing.T) {
+	unregister(t, "zz-sel-a", "zz-sel-b")
+	mk := func(s string) func(Options) fmt.Stringer {
+		return func(Options) fmt.Stringer { return stringerFunc(s) }
+	}
+	Register(Meta{Name: "zz-sel-a", Title: "A", Order: 9001}, mk("a"))
+	Register(Meta{Name: "zz-sel-b", Title: "B", Order: 9002}, mk("b"))
+
+	// Empty csv selects everything, in registry order.
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d experiments, err %v; want full registry", len(all), err)
+	}
+
+	// Explicit names resolve in the given order; whitespace and empty
+	// entries (trailing commas) are tolerated.
+	got, err := Select(" zz-sel-b , zz-sel-a ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Meta.Name != "zz-sel-b" || got[1].Meta.Name != "zz-sel-a" {
+		t.Fatalf("Select order = %v", []string{got[0].Meta.Name, got[1].Meta.Name})
+	}
+
+	// Unknown names error and the message carries the valid-name list.
+	if _, err := Select("zz-sel-a,zz-sel-nope"); err == nil {
+		t.Fatal("Select with unknown name should error")
+	} else if !strings.Contains(err.Error(), "zz-sel-nope") || !strings.Contains(err.Error(), "valid names") {
+		t.Fatalf("error %q should name the offender and list valid names", err)
+	}
+
+	// A csv of only separators selects nothing and must error too.
+	if _, err := Select(" , ,"); err == nil {
+		t.Fatal("Select of empty entries should error")
 	}
 }

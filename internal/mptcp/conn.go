@@ -83,6 +83,7 @@ type Subflow struct {
 	established bool
 	dead        bool // administratively down
 	outstanding []mapping
+	ackScratch  []mapping // double buffer for onMappingAcked rebuilds
 	dupQueue    []mapping // scheduler-duplicated mappings awaiting send
 	reinjected  bool      // reinjection already performed for current stall
 }
@@ -123,6 +124,9 @@ type Conn struct {
 
 	// Scheduling policy (see Scheduler).
 	sched Scheduler
+	// eligScratch is reused by modeEligible; wake consults it once per
+	// data/ack event, so rebuilding it must not allocate.
+	eligScratch []*Subflow
 
 	// Diagnostics.
 	Reinjections int
@@ -227,7 +231,7 @@ func (c *Conn) subflowCallbacks(sf *Subflow) tcp.Callbacks {
 		OnEstablished: func(tc *tcp.Conn) { c.subflowEstablished(sf) },
 		OnSegment:     func(tc *tcp.Conn, seg *tcp.Segment) { c.onSegment(sf, seg) },
 		OnAckedOpt:    func(tc *tcp.Conn, opt any) { c.onMappingAcked(sf, opt) },
-		AckOpt:        func(tc *tcp.Conn) any { return &DSS{DataAck: c.rcvNxt} },
+		AckOpt:        func(tc *tcp.Conn) any { return newAckDSS(c.rcvNxt) },
 		OnRTO:         func(tc *tcp.Conn, count int) { c.onSubflowRTO(sf, count) },
 		OnClosed:      func(tc *tcp.Conn) { c.onSubflowClosed(sf) },
 	}
@@ -314,15 +318,25 @@ func (c *Conn) wake() {
 	}
 }
 
+// eligible reports whether sf may carry data right now (established,
+// alive, and allowed by Backup-mode gating).
+func (c *Conn) eligible(sf *Subflow) bool {
+	return sf.established && !sf.dead && c.allowedByMode(sf)
+}
+
 // modeEligible returns the established, usable subflows in creation
-// order; the scheduler's Rank imposes the offering order.
+// order; the scheduler's Rank imposes the offering order. The returned
+// slice is the connection's reusable scratch: it is valid until the
+// next modeEligible call, and only wake (whose iteration finishes
+// before any nested data event can re-enter) may hold it.
 func (c *Conn) modeEligible() []*Subflow {
-	var out []*Subflow
+	out := c.eligScratch[:0]
 	for _, sf := range c.subflows {
-		if sf.established && !sf.dead && c.allowedByMode(sf) {
+		if c.eligible(sf) {
 			out = append(out, sf)
 		}
 	}
+	c.eligScratch = out
 	return out
 }
 
@@ -437,9 +451,11 @@ func (c *Conn) onMappingAcked(sf *Subflow, opt any) {
 		return
 	}
 	ack := mapping{dataSeq: dss.DataSeq, len: dss.Len}
-	// Build into a fresh slice: a mid-record ack splits one record into
-	// two, so filtering in place could overtake the read cursor.
-	kept := make([]mapping, 0, len(sf.outstanding)+1)
+	// Build into the subflow's scratch buffer: a mid-record ack splits
+	// one record into two, so filtering in place could overtake the read
+	// cursor. The old records slice becomes the next rebuild's scratch
+	// (double buffering keeps the steady-state ACK path allocation-free).
+	kept := sf.ackScratch[:0]
 	for _, m := range sf.outstanding {
 		if m.end() <= ack.dataSeq || m.dataSeq >= ack.end() {
 			kept = append(kept, m) // disjoint
@@ -452,6 +468,7 @@ func (c *Conn) onMappingAcked(sf *Subflow, opt any) {
 			kept = append(kept, mapping{dataSeq: ack.end(), len: int(m.end() - ack.end())})
 		}
 	}
+	sf.ackScratch = sf.outstanding[:0]
 	sf.outstanding = kept
 	sf.reinjected = false
 	c.maybeClose()
@@ -482,12 +499,18 @@ func (c *Conn) receive(m mapping) {
 		return // duplicate
 	case m.dataSeq <= c.rcvNxt:
 		c.rcvNxt = m.end()
-		// Drain contiguous out-of-order intervals.
-		for len(c.ooo) > 0 && c.ooo[0].dataSeq <= c.rcvNxt {
-			if e := c.ooo[0].end(); e > c.rcvNxt {
+		// Drain contiguous out-of-order intervals; copy down so the
+		// backing array keeps its capacity for later reordering bursts.
+		k := 0
+		for k < len(c.ooo) && c.ooo[k].dataSeq <= c.rcvNxt {
+			if e := c.ooo[k].end(); e > c.rcvNxt {
 				c.rcvNxt = e
 			}
-			c.ooo = c.ooo[1:]
+			k++
+		}
+		if k > 0 {
+			n := copy(c.ooo, c.ooo[k:])
+			c.ooo = c.ooo[:n]
 		}
 	default:
 		c.insertOOO(m)

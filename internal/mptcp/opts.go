@@ -23,7 +23,10 @@
 //     the cable) does not — reproducing the paper's Fig. 15 anomaly.
 package mptcp
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // MPCapable is the option on the primary subflow's SYN.
 type MPCapable struct {
@@ -61,6 +64,34 @@ type DSS struct {
 	Len int
 	// DataAck is the cumulative connection-level acknowledgement.
 	DataAck uint64
+
+	// wireOnly marks a pooled ack-only DSS owned exclusively by the
+	// wire segment carrying it (see newAckDSS); data-mapping DSS are
+	// also referenced from the sender's retransmission scoreboard and
+	// must never be recycled by the wire.
+	wireOnly bool
+}
+
+var dssPool = sync.Pool{New: func() any { return new(DSS) }}
+
+// newAckDSS returns a pooled ack-only DSS for a pure ACK. Pure ACKs are
+// never tracked for retransmission, so the wire segment is the only
+// holder and tcp.Segment.Recycle returns the option to the pool at the
+// segment's delivery or drop sink.
+func newAckDSS(ack uint64) *DSS {
+	d := dssPool.Get().(*DSS)
+	d.DataSeq, d.Len, d.DataAck, d.wireOnly = 0, 0, ack, true
+	return d
+}
+
+// RecycleOpt implements tcp.RecyclableOpt: wire-owned ack-only DSS
+// return to the pool; shared data-mapping DSS are left to the GC.
+func (o *DSS) RecycleOpt() {
+	if !o.wireOnly {
+		return
+	}
+	*o = DSS{}
+	dssPool.Put(o)
 }
 
 // String renders the option for captures.

@@ -134,11 +134,16 @@ func sfSRTT(sf *Subflow) time.Duration {
 }
 
 // rankBySRTT is the shared min-SRTT ordering (stable, so attachment
-// order breaks ties exactly as the pre-refactor scheduler did).
+// order breaks ties exactly as the pre-refactor scheduler did). It is
+// a hand-rolled insertion sort: subflow counts are tiny (2-4), it is
+// stable like sort.SliceStable, and unlike the closure-based sort it
+// runs without allocating on every wake.
 func rankBySRTT(sfs []*Subflow) []*Subflow {
-	sort.SliceStable(sfs, func(i, j int) bool {
-		return sfSRTT(sfs[i]) < sfSRTT(sfs[j])
-	})
+	for i := 1; i < len(sfs); i++ {
+		for j := i; j > 0 && sfSRTT(sfs[j]) < sfSRTT(sfs[j-1]); j-- {
+			sfs[j], sfs[j-1] = sfs[j-1], sfs[j]
+		}
+	}
 	return sfs
 }
 
@@ -179,17 +184,23 @@ func (*redundant) Name() string                            { return SchedRedunda
 func (*redundant) Rank(c *Conn, sfs []*Subflow) []*Subflow { return rankBySRTT(sfs) }
 func (*redundant) Admit(c *Conn, sf *Subflow) bool         { return true }
 
+// notifySubflow is the deferred NotifyData trampoline shared by every
+// duplicate enqueue (no per-mapping closure).
+func notifySubflow(a any) { a.(*Subflow).TCP.NotifyData() }
+
 func (*redundant) onFreshMapping(c *Conn, src *Subflow, m mapping) {
-	for _, sf := range c.modeEligible() {
-		if sf == src || sf.Backup {
+	// Iterate the subflows directly: this runs nested inside wake's
+	// iteration of the modeEligible scratch slice, which a fresh
+	// modeEligible call here would clobber.
+	for _, sf := range c.subflows {
+		if sf == src || sf.Backup || !c.eligible(sf) {
 			continue
 		}
 		sf.dupQueue = append(sf.dupQueue, m)
-		sf := sf
 		// Defer the notify: pull runs inside src's TCP send loop, and
 		// the duplicate target must start its own send from a clean
 		// stack frame at the same virtual instant.
-		c.sim.After(0, func() { sf.TCP.NotifyData() })
+		c.sim.AfterArg(0, notifySubflow, sf)
 	}
 }
 

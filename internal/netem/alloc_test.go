@@ -1,0 +1,59 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"multinet/internal/simnet"
+)
+
+// TestSendDeliverReleaseZeroAlloc pins the pooled packet hot path: once
+// the pools and the kernel's event free list are warm, a full
+// send→serialise→propagate→deliver→release cycle must not touch the
+// heap. A regression here silently reintroduces per-packet garbage on
+// every experiment in the registry.
+func TestSendDeliverReleaseZeroAlloc(t *testing.T) {
+	sim := simnet.New(1)
+	up := NewFixedLink(sim, 100, LinkConfig{PropDelay: time.Millisecond})
+	down := NewFixedLink(sim, 100, LinkConfig{PropDelay: time.Millisecond})
+	iface := NewIface(sim, "wifi", up, down)
+	iface.OnServerRecv(func(p *Packet) { ReleasePacket(p) })
+	iface.OnClientRecv(func(p *Packet) { ReleasePacket(p) })
+
+	cycle := func() {
+		iface.SendUp(MTU, nil)
+		iface.SendDown(MTU, nil)
+		sim.Run()
+	}
+	for i := 0; i < 64; i++ {
+		cycle() // warm the packet pool and event free list
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("send-deliver-release cycle allocates %v per run, want 0", avg)
+	}
+}
+
+// TestDropPathsReleaseZeroAlloc pins the drop sinks: packets that die
+// in the queue (droptail) or on a dead link must also return to the
+// pool without allocating.
+func TestDropPathsReleaseZeroAlloc(t *testing.T) {
+	sim := simnet.New(1)
+	up := NewFixedLink(sim, 1, LinkConfig{PropDelay: time.Millisecond, QueueLimit: 1})
+	down := NewFixedLink(sim, 1, LinkConfig{PropDelay: time.Millisecond})
+	iface := NewIface(sim, "lte", up, down)
+	iface.OnServerRecv(func(p *Packet) { ReleasePacket(p) })
+
+	cycle := func() {
+		// Second and third packets overflow the one-slot queue.
+		iface.SendUp(MTU, nil)
+		iface.SendUp(MTU, nil)
+		iface.SendUp(MTU, nil)
+		sim.Run()
+	}
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(200, cycle); avg != 0 {
+		t.Fatalf("droptail cycle allocates %v per run, want 0", avg)
+	}
+}

@@ -87,10 +87,28 @@ func (i *Iface) AddSendTap(t Tap) { i.sendTaps = append(i.sendTaps, t) }
 // AddRecvTap registers a tap on packets delivered from either link.
 func (i *Iface) AddRecvTap(t Tap) { i.recvTaps = append(i.recvTaps, t) }
 
+// newPacket builds a pooled packet for this interface.
+func (i *Iface) newPacket(dir Direction, size int, payload any) *Packet {
+	p := NewPacket()
+	p.Iface = i.Name
+	p.Dir = dir
+	p.Size = size
+	p.Payload = payload
+	return p
+}
+
+// sendPromoted runs when a packet's radio-promotion wait elapses.
+func sendPromoted(a any) {
+	p := a.(*Packet)
+	l := p.promo
+	p.promo = nil
+	l.Send(p)
+}
+
 // SendUp transmits a packet client→server on this interface, paying
 // radio promotion latency if the radio was idle.
 func (i *Iface) SendUp(size int, payload any) {
-	p := &Packet{Iface: i.Name, Dir: Up, Size: size, Payload: payload}
+	p := i.newPacket(Up, size, payload)
 	for _, t := range i.sendTaps {
 		t(p)
 	}
@@ -101,12 +119,14 @@ func (i *Iface) SendUp(size int, payload any) {
 			// Radio still waking: queue behind the promotion (FIFO is
 			// preserved by the event heap's scheduling order).
 			i.lastActivity = i.wakeUntil
-			i.sim.Schedule(i.wakeUntil, func() { i.up.Send(p) })
+			p.promo = i.up
+			i.sim.ScheduleArg(i.wakeUntil, sendPromoted, p)
 			return
 		case i.lastActivity < 0 || now-i.lastActivity > i.promIdle:
 			i.wakeUntil = now + i.promDelay
 			i.lastActivity = i.wakeUntil
-			i.sim.Schedule(i.wakeUntil, func() { i.up.Send(p) })
+			p.promo = i.up
+			i.sim.ScheduleArg(i.wakeUntil, sendPromoted, p)
 			return
 		}
 	}
@@ -118,7 +138,7 @@ func (i *Iface) SendUp(size int, payload any) {
 // server side never pays promotion: our flows are client-initiated, so
 // the radio is already connected when responses arrive.
 func (i *Iface) SendDown(size int, payload any) {
-	p := &Packet{Iface: i.Name, Dir: Down, Size: size, Payload: payload}
+	p := i.newPacket(Down, size, payload)
 	for _, t := range i.sendTaps {
 		t(p)
 	}

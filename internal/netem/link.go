@@ -32,13 +32,59 @@ func (c *LinkConfig) queueLimit() int {
 	return c.QueueLimit
 }
 
+// pktRing is a FIFO packet queue that reuses its backing array: pops
+// advance a head index instead of re-slicing, so a link that fills and
+// drains its queue forever stops allocating once the array has grown to
+// the droptail limit.
+type pktRing struct {
+	buf  []*Packet
+	head int
+}
+
+func (q *pktRing) len() int { return len(q.buf) - q.head }
+
+// peek returns the head packet; the queue must be non-empty.
+func (q *pktRing) peek() *Packet { return q.buf[q.head] }
+
+func (q *pktRing) push(p *Packet) {
+	if q.head > 0 && len(q.buf) == cap(q.buf) {
+		// Reclaim the popped prefix instead of growing.
+		n := copy(q.buf, q.buf[q.head:])
+		for i := n; i < len(q.buf); i++ {
+			q.buf[i] = nil
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	q.buf = append(q.buf, p)
+}
+
+// pop removes and returns the head packet; the queue must be non-empty.
+func (q *pktRing) pop() *Packet {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head++
+	if q.head == len(q.buf) {
+		q.buf = q.buf[:0]
+		q.head = 0
+	}
+	return p
+}
+
+// drain empties the queue, passing each packet to sink.
+func (q *pktRing) drain(sink func(*Packet)) {
+	for q.len() > 0 {
+		sink(q.pop())
+	}
+}
+
 // baseLink implements the queueing, loss, and state logic shared by
 // FixedLink and VarLink.
 type baseLink struct {
 	sim       *simnet.Sim
 	cfg       LinkConfig
 	recv      func(*Packet)
-	queue     []*Packet
+	queue     pktRing
 	down      bool
 	blackhole bool
 	stats     LinkStats
@@ -46,25 +92,29 @@ type baseLink struct {
 
 func (b *baseLink) SetReceiver(fn func(*Packet)) { b.recv = fn }
 func (b *baseLink) Stats() LinkStats             { return b.stats }
-func (b *baseLink) QueueLen() int                { return len(b.queue) }
+func (b *baseLink) QueueLen() int                { return b.queue.len() }
 
 // admit runs the shared drop logic; it returns true when the packet was
-// queued and the caller should (re)start service.
+// queued and the caller should (re)start service. Dropped packets are
+// recycled here — the caller must not touch p after a false return.
 func (b *baseLink) admit(p *Packet) bool {
 	if b.down || b.blackhole {
 		b.stats.DroppedDown++
+		dropPacket(p)
 		return false
 	}
 	if b.cfg.LossProb > 0 && b.cfg.RNG != nil && b.cfg.RNG.Float64() < b.cfg.LossProb {
 		b.stats.DroppedLoss++
+		dropPacket(p)
 		return false
 	}
-	if len(b.queue) >= b.cfg.queueLimit() {
+	if b.queue.len() >= b.cfg.queueLimit() {
 		b.stats.DroppedQueue++
+		dropPacket(p)
 		return false
 	}
 	p.SendTime = b.sim.Now()
-	b.queue = append(b.queue, p)
+	b.queue.push(p)
 	b.stats.Sent++
 	b.stats.BytesIn += int64(p.Size)
 	return true
@@ -75,24 +125,34 @@ func (b *baseLink) admit(p *Packet) bool {
 func (b *baseLink) deliver(p *Packet) {
 	b.stats.Delivered++
 	b.stats.BytesOut += int64(p.Size)
-	b.sim.After(b.cfg.PropDelay, func() {
-		if b.down || b.blackhole {
-			// The packet was on the wire when the link died: it is lost.
-			b.stats.Delivered--
-			b.stats.BytesOut -= int64(p.Size)
-			b.stats.DroppedDown++
-			return
-		}
-		if b.recv != nil {
-			b.recv(p)
-		}
-	})
+	p.dst = b
+	b.sim.AfterArg(b.cfg.PropDelay, finishDeliver, p)
+}
+
+// finishDeliver runs when a packet's propagation delay elapses.
+func finishDeliver(a any) {
+	p := a.(*Packet)
+	b := p.dst
+	p.dst = nil
+	if b.down || b.blackhole {
+		// The packet was on the wire when the link died: it is lost.
+		b.stats.Delivered--
+		b.stats.BytesOut -= int64(p.Size)
+		b.stats.DroppedDown++
+		dropPacket(p)
+		return
+	}
+	if b.recv == nil {
+		dropPacket(p)
+		return
+	}
+	b.recv(p)
 }
 
 // purge empties the queue, counting the discards as down-drops.
 func (b *baseLink) purge() {
-	b.stats.DroppedDown += len(b.queue)
-	b.queue = b.queue[:0]
+	b.stats.DroppedDown += b.queue.len()
+	b.queue.drain(dropPacket)
 }
 
 // FixedLink is a constant-bit-rate link.
@@ -101,6 +161,8 @@ type FixedLink struct {
 	rateBps   float64 // bits per second
 	busyUntil time.Duration
 	serving   bool
+	inService *Packet      // head packet whose transmission is scheduled
+	doneTimer simnet.Timer // fires when inService finishes serialising
 }
 
 // NewFixedLink creates a link that transmits at rateMbps megabits per
@@ -138,12 +200,12 @@ func (l *FixedLink) Send(p *Packet) {
 }
 
 func (l *FixedLink) serveNext() {
-	if len(l.queue) == 0 || l.down || l.blackhole {
+	if l.queue.len() == 0 || l.down || l.blackhole {
 		l.serving = false
 		return
 	}
 	l.serving = true
-	p := l.queue[0]
+	p := l.queue.peek()
 	txTime := time.Duration(float64(p.Size*8) / l.rateBps * float64(time.Second))
 	start := l.sim.Now()
 	if l.busyUntil > start {
@@ -151,17 +213,32 @@ func (l *FixedLink) serveNext() {
 	}
 	done := start + txTime
 	l.busyUntil = done
-	l.sim.Schedule(done, func() {
-		if l.down || l.blackhole {
-			l.serving = false
-			return
-		}
-		if len(l.queue) > 0 && l.queue[0] == p {
-			l.queue = l.queue[1:]
-			l.deliver(p)
-		}
-		l.serveNext()
-	})
+	l.inService = p
+	l.doneTimer = l.sim.ScheduleArg(done, fixedLinkDone, l)
+}
+
+// fixedLinkDone fires when the in-service packet finishes serialising.
+func fixedLinkDone(a any) {
+	l := a.(*FixedLink)
+	p := l.inService
+	l.inService = nil
+	if l.down || l.blackhole {
+		l.serving = false
+		return
+	}
+	if p != nil && l.queue.len() > 0 && l.queue.peek() == p {
+		l.queue.pop()
+		l.deliver(p)
+	}
+	l.serveNext()
+}
+
+// stopService cancels the pending serialisation event (the serviced
+// packet itself is purged with the rest of the queue).
+func (l *FixedLink) stopService() {
+	l.doneTimer.Stop()
+	l.inService = nil
+	l.serving = false
 }
 
 // SetDown implements Link. Bringing the link down purges the queue.
@@ -169,8 +246,8 @@ func (l *FixedLink) SetDown(down bool) {
 	was := l.down
 	l.down = down
 	if down {
+		l.stopService()
 		l.purge()
-		l.serving = false
 	} else if was && !down {
 		l.busyUntil = l.sim.Now()
 		l.serveNext()
@@ -182,8 +259,8 @@ func (l *FixedLink) SetBlackhole(bh bool) {
 	was := l.blackhole
 	l.blackhole = bh
 	if bh {
+		l.stopService()
 		l.purge()
-		l.serving = false
 	} else if was && !bh {
 		l.busyUntil = l.sim.Now()
 		l.serveNext()
@@ -204,7 +281,7 @@ type OpportunitySource interface {
 type VarLink struct {
 	baseLink
 	src       OpportunitySource
-	wake      *simnet.Timer
+	wake      simnet.Timer
 	headBytes int // bytes of the head packet already transmitted
 }
 
@@ -228,25 +305,26 @@ func (l *VarLink) Send(p *Packet) {
 }
 
 func (l *VarLink) arm() {
-	if l.wake != nil && l.wake.Active() {
+	if l.wake.Active() {
 		return
 	}
-	if len(l.queue) == 0 || l.down || l.blackhole {
+	if l.queue.len() == 0 || l.down || l.blackhole {
 		return
 	}
 	next := l.src.Next(l.sim.Now())
-	l.wake = l.sim.Schedule(next, l.opportunity)
+	l.wake = l.sim.ScheduleArg(next, varLinkOpportunity, l)
 }
 
-// opportunity consumes one delivery slot.
-func (l *VarLink) opportunity() {
-	if len(l.queue) == 0 || l.down || l.blackhole {
+// varLinkOpportunity consumes one delivery slot.
+func varLinkOpportunity(a any) {
+	l := a.(*VarLink)
+	if l.queue.len() == 0 || l.down || l.blackhole {
 		return
 	}
-	p := l.queue[0]
+	p := l.queue.peek()
 	l.headBytes += MTU
 	if l.headBytes >= p.Size {
-		l.queue = l.queue[1:]
+		l.queue.pop()
 		l.headBytes = 0
 		l.deliver(p)
 	}
@@ -260,9 +338,7 @@ func (l *VarLink) SetDown(down bool) {
 	if down {
 		l.purge()
 		l.headBytes = 0
-		if l.wake != nil {
-			l.wake.Stop()
-		}
+		l.wake.Stop()
 	} else if was && !down {
 		l.arm()
 	}
@@ -275,9 +351,7 @@ func (l *VarLink) SetBlackhole(bh bool) {
 	if bh {
 		l.purge()
 		l.headBytes = 0
-		if l.wake != nil {
-			l.wake.Stop()
-		}
+		l.wake.Stop()
 	} else if was && !bh {
 		l.arm()
 	}

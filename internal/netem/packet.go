@@ -18,6 +18,7 @@
 package netem
 
 import (
+	"sync"
 	"time"
 )
 
@@ -45,6 +46,14 @@ const MTU = 1500
 
 // Packet is the unit of transfer across links. Transports put their
 // segment in Payload; Size is the total on-the-wire size in bytes.
+//
+// Packets are pooled: the Iface send helpers take them from NewPacket,
+// and they are released back exactly once — by the link when it drops
+// them (queue overflow, random loss, down/blackhole) or by the final
+// receiver once it has finished with the delivered packet (tcp.Stack
+// does this in its dispatch path). Consumers that retain a delivered
+// packet simply never release it; the pool is an optimisation, not an
+// obligation.
 type Packet struct {
 	// Iface names the client interface this packet traverses ("wifi",
 	// "lte"); filled in by the Iface send helpers.
@@ -57,6 +66,42 @@ type Packet struct {
 	Payload any
 	// SendTime is when the packet entered the link, set by the link.
 	SendTime time.Duration
+
+	// dst carries the delivering link across the propagation-delay
+	// event, so delivery needs no per-packet closure.
+	dst *baseLink
+	// promo carries the target link across a radio-promotion wait (see
+	// Iface.SendUp), for the same reason.
+	promo Link
+}
+
+// Recyclable is implemented by payloads that want to be returned to a
+// pool when netem is finished with the packet carrying them: on every
+// drop path (queue overflow, random loss, down/blackhole, purge) the
+// link recycles the payload before releasing the packet. Payloads of
+// delivered packets are NOT recycled by netem — ownership passes to the
+// receiver (tcp.Stack recycles segments after processing them).
+type Recyclable interface{ Recycle() }
+
+var packetPool = sync.Pool{New: func() any { return new(Packet) }}
+
+// NewPacket returns a zeroed packet from the pool.
+func NewPacket() *Packet { return packetPool.Get().(*Packet) }
+
+// ReleasePacket resets p and returns it to the pool. The caller must
+// not touch p afterwards.
+func ReleasePacket(p *Packet) {
+	*p = Packet{}
+	packetPool.Put(p)
+}
+
+// dropPacket recycles p's payload (if it knows how) and releases p —
+// the shared sink for every path where a packet dies inside netem.
+func dropPacket(p *Packet) {
+	if r, ok := p.Payload.(Recyclable); ok {
+		r.Recycle()
+	}
+	ReleasePacket(p)
 }
 
 // LinkStats counts per-link activity.

@@ -7,13 +7,18 @@
 // no wall-clock sleeps anywhere: simulating 180 days of the paper's
 // crowd-sourced measurement campaign takes seconds of real time.
 //
+// The kernel is allocation-free in steady state: fired and cancelled
+// events return to a free list and are reused by later Schedule calls,
+// and the arg-passing variants (ScheduleArg, AfterArg, DeferArg) let hot
+// callers avoid per-event closure captures entirely. Timer is a small
+// value type; handing one around never allocates.
+//
 // Randomness is handled through named streams (see Sim.RNG) so that
 // adding a new consumer of randomness does not perturb the draws seen by
 // existing consumers — a property the calibrated experiments rely on.
 package simnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -25,6 +30,7 @@ import (
 type Sim struct {
 	now     time.Duration
 	events  eventHeap
+	free    []*event // recycled events awaiting reuse
 	seq     uint64
 	seed    int64
 	rngs    map[string]*rand.Rand
@@ -57,19 +63,29 @@ func (s *Sim) Seed() int64 { return s.seed }
 // Processed returns the number of events executed so far.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// Timer is a handle to a scheduled event. Cancelling a fired or already
-// cancelled timer is a no-op.
+// Timer is a handle to a scheduled event. The zero Timer is inert:
+// Stop and Active on it are no-ops. Cancelling a fired or already
+// cancelled timer is a no-op. Timers are values; copying one copies the
+// handle, and both copies control the same scheduled event.
+//
+// Fired and cancelled events are recycled for later Schedule calls, so
+// a Timer additionally remembers the event's generation (its scheduling
+// sequence number): a stale handle whose event has been reused is
+// recognised and treated as fired.
 type Timer struct {
 	sim *Sim
 	ev  *event
+	seq uint64
 }
 
 // Stop cancels the timer. It reports whether the event had not yet fired.
-func (t *Timer) Stop() bool {
-	if t == nil || t.ev == nil || t.ev.fn == nil {
+func (t Timer) Stop() bool {
+	ev := t.ev
+	if ev == nil || ev.seq != t.seq || ev.fn == nil {
 		return false
 	}
-	t.ev.fn = nil // heap entry stays until run pops it or compact removes it
+	ev.fn = nil // heap entry stays until run pops it or compact removes it
+	ev.arg = nil
 	if s := t.sim; s != nil {
 		s.cancelled++
 		if s.cancelled > len(s.events)/2 {
@@ -80,43 +96,102 @@ func (t *Timer) Stop() bool {
 }
 
 // Active reports whether the timer is still pending.
-func (t *Timer) Active() bool { return t != nil && t.ev != nil && t.ev.fn != nil }
+func (t Timer) Active() bool {
+	return t.ev != nil && t.ev.seq == t.seq && t.ev.fn != nil
+}
 
-// When returns the virtual time the timer fires (or fired) at.
-func (t *Timer) When() time.Duration {
-	if t == nil || t.ev == nil {
+// When returns the virtual time a pending timer fires at, or 0 once it
+// has fired or been cancelled (its event may already be reused).
+func (t Timer) When() time.Duration {
+	if !t.Active() {
 		return 0
 	}
 	return t.ev.at
 }
 
+// thunk adapts the closure-based Schedule API onto the arg-based event
+// representation without an extra allocation (func values are
+// pointer-shaped, so boxing one into the arg interface is free).
+func thunk(a any) { a.(func())() }
+
 // Schedule runs fn at absolute virtual time at. Scheduling in the past
 // panics: it always indicates a logic error in a protocol implementation.
-func (s *Sim) Schedule(at time.Duration, fn func()) *Timer {
+func (s *Sim) Schedule(at time.Duration, fn func()) Timer {
 	if fn == nil {
 		panic("simnet: Schedule with nil fn")
+	}
+	return s.ScheduleArg(at, thunk, fn)
+}
+
+// ScheduleArg runs fn(arg) at absolute virtual time at. It is the
+// allocation-free variant of Schedule: with a non-capturing fn and a
+// pointer-shaped arg (the idiomatic pattern is a package-level func
+// asserting arg back to the caller's receiver type), scheduling reuses
+// a recycled event and allocates nothing.
+func (s *Sim) ScheduleArg(at time.Duration, fn func(any), arg any) Timer {
+	if fn == nil {
+		panic("simnet: ScheduleArg with nil fn")
 	}
 	if at < s.now {
 		panic(fmt.Sprintf("simnet: scheduling into the past: at=%v now=%v", at, s.now))
 	}
-	ev := &event{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.events, ev)
-	return &Timer{sim: s, ev: ev}
+	ev := s.newEvent(at, fn, arg)
+	s.events.push(ev)
+	return Timer{sim: s, ev: ev, seq: ev.seq}
 }
 
 // After runs fn after delay d (relative to the current virtual time).
-func (s *Sim) After(d time.Duration, fn func()) *Timer {
+func (s *Sim) After(d time.Duration, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.Schedule(s.now+d, fn)
 }
 
+// AfterArg runs fn(arg) after delay d; see ScheduleArg.
+func (s *Sim) AfterArg(d time.Duration, fn func(any), arg any) Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.ScheduleArg(s.now+d, fn, arg)
+}
+
 // Defer runs fn at the current time, after all events already scheduled
 // for the current instant. It is the simulation analogue of "post to the
 // run loop" and is useful to break call cycles between protocol layers.
-func (s *Sim) Defer(fn func()) *Timer { return s.Schedule(s.now, fn) }
+func (s *Sim) Defer(fn func()) Timer { return s.Schedule(s.now, fn) }
+
+// DeferArg runs fn(arg) at the current time, after all events already
+// scheduled for the current instant; see ScheduleArg.
+func (s *Sim) DeferArg(fn func(any), arg any) Timer { return s.ScheduleArg(s.now, fn, arg) }
+
+// newEvent takes an event from the free list (or allocates one) and
+// stamps it with a fresh generation number.
+func (s *Sim) newEvent(at time.Duration, fn func(any), arg any) *event {
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at = at
+	ev.seq = s.seq
+	ev.fn = fn
+	ev.arg = arg
+	s.seq++
+	return ev
+}
+
+// recycle clears an event and returns it to the free list. Its seq is
+// left in place until reuse so stale Timer handles keep failing the
+// generation check.
+func (s *Sim) recycle(ev *event) {
+	ev.fn = nil
+	ev.arg = nil
+	s.free = append(s.free, ev)
+}
 
 // Stop halts Run/RunUntil after the event currently executing returns.
 func (s *Sim) Stop() { s.stopped = true }
@@ -151,15 +226,19 @@ func (s *Sim) run(until time.Duration) int {
 		if until >= 0 && next.at > until {
 			break
 		}
-		heap.Pop(&s.events)
+		s.events.popHead()
 		if next.fn == nil { // cancelled
 			s.cancelled--
+			s.recycle(next)
 			continue
 		}
 		s.now = next.at
-		fn := next.fn
-		next.fn = nil
-		fn()
+		fn, arg := next.fn, next.arg
+		// Recycle before running: fn may schedule new events, and reusing
+		// this one immediately keeps the free list minimal. Stale Timer
+		// handles are protected by the generation check.
+		s.recycle(next)
+		fn(arg)
 		n++
 		s.processed++
 	}
@@ -173,21 +252,23 @@ func (s *Sim) Pending() int {
 
 // compact removes cancelled entries from the event heap and restores
 // the heap invariant. Timer handles to removed events stay valid: a
-// compacted-away event has fn == nil, so Stop and Active treat it as
+// compacted-away event is recycled, so Stop and Active treat it as
 // fired.
 func (s *Sim) compact() {
 	live := s.events[:0]
 	for _, ev := range s.events {
 		if ev.fn != nil {
 			live = append(live, ev)
+		} else {
+			s.recycle(ev)
 		}
 	}
-	// Release the tail so removed events can be collected.
+	// Release the tail so moved entries are not referenced twice.
 	for i := len(live); i < len(s.events); i++ {
 		s.events[i] = nil
 	}
 	s.events = live
-	heap.Init(&s.events)
+	s.events.init()
 	s.cancelled = 0
 }
 
@@ -229,30 +310,72 @@ func streamSeed(seed int64, name string) int64 {
 // event is a single heap entry.
 type event struct {
 	at  time.Duration
-	seq uint64 // FIFO tiebreak for identical timestamps
-	fn  func()
+	seq uint64 // FIFO tiebreak for identical timestamps + Timer generation
+	fn  func(any)
+	arg any
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). The
+// container/heap indirection was measurable in profiles of sweep-scale
+// runs, so the sift operations are implemented directly.
 type eventHeap []*event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.up(len(*h) - 1)
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
+// popHead removes the minimum element (the caller has already read it).
+func (h *eventHeap) popHead() {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	last := len(old) - 1
+	old[0] = old[last]
+	old[last] = nil
+	*h = old[:last]
+	if last > 1 {
+		h.down(0)
+	}
+}
+
+func (h eventHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) down(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && h.less(right, left) {
+			least = right
+		}
+		if !h.less(least, i) {
+			break
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
+}
+
+func (h eventHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }

@@ -267,7 +267,7 @@ func TestPropertyPendingCount(t *testing.T) {
 		s := New(5)
 		total := int(n%50) + 1
 		toCancel := int(cancel) % total
-		timers := make([]*Timer, total)
+		timers := make([]Timer, total)
 		for i := 0; i < total; i++ {
 			timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
 		}
@@ -311,7 +311,7 @@ func BenchmarkScheduleRun(b *testing.B) {
 func TestCancelledTimerCompaction(t *testing.T) {
 	s := New(1)
 	const n = 1024
-	timers := make([]*Timer, n)
+	timers := make([]Timer, n)
 	for i := range timers {
 		timers[i] = s.After(time.Duration(i+1)*time.Millisecond, func() {})
 	}
@@ -350,7 +350,7 @@ func TestTimerChurnKeepsHeapBounded(t *testing.T) {
 func TestCompactionPreservesOrderAndHandles(t *testing.T) {
 	s := New(1)
 	var fired []int
-	timers := make([]*Timer, 100)
+	timers := make([]Timer, 100)
 	for i := range timers {
 		i := i
 		// Deadlines decrease with i so execution order differs from

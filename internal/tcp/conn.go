@@ -111,8 +111,11 @@ type Callbacks struct {
 }
 
 // rtxEntry tracks one unacknowledged segment in the SACK scoreboard.
+// The segment is held by value: wire segments are pooled and owned by
+// the receiver once transmitted, so the scoreboard must never alias
+// them. Retransmissions clone a fresh pooled segment from this copy.
 type rtxEntry struct {
-	seg    *Segment
+	seg    Segment
 	sentAt time.Duration
 	rtxed  bool // retransmitted at least once (Karn's algorithm)
 	sacked bool // covered by a SACK block
@@ -154,13 +157,13 @@ type Conn struct {
 	rttvar   time.Duration
 	minRTT   time.Duration
 	rto      time.Duration
-	rtoTimer *simnet.Timer
+	rtoTimer simnet.Timer
 	rtoCount int // consecutive timeouts
 
 	// Tail loss probe (simplified Linux TLP): one probe retransmission
 	// of the newest unacked segment 2*SRTT after the send stream goes
 	// quiet, so tail drops do not pay a full RTO.
-	probeTimer *simnet.Timer
+	probeTimer simnet.Timer
 	probeFired bool
 
 	// Receiver state.
@@ -326,10 +329,11 @@ func (c *Conn) Connect() {
 	}
 	c.state = StateSynSent
 	c.synSentAt = c.sim.Now()
-	syn := &Segment{Flow: c.flow, Flags: FlagSYN, Seq: 0, Wnd: DefaultWindow, Opt: c.synOpt}
+	syn := NewSegment()
+	syn.Flow, syn.Flags, syn.Wnd, syn.Opt = c.flow, FlagSYN, DefaultWindow, c.synOpt
 	c.sndNxt = 1 // SYN consumes one
-	c.transmit(syn, false)
 	c.track(syn)
+	c.transmit(syn)
 	c.armRTO()
 }
 
@@ -403,10 +407,12 @@ func (c *Conn) passiveOpen(syn *Segment) {
 	c.state = StateSynRcvd
 	c.rcvNxt = syn.SeqEnd()
 	c.peerWnd = syn.Wnd
-	synAck := &Segment{Flow: c.flow, Flags: FlagSYN | FlagACK, Seq: 0, Ack: c.rcvNxt, Wnd: DefaultWindow, Opt: c.synOpt}
+	synAck := NewSegment()
+	synAck.Flow, synAck.Flags, synAck.Ack, synAck.Wnd, synAck.Opt =
+		c.flow, FlagSYN|FlagACK, c.rcvNxt, DefaultWindow, c.synOpt
 	c.sndNxt = 1
-	c.transmit(synAck, false)
 	c.track(synAck)
+	c.transmit(synAck)
 	c.armRTO()
 }
 
@@ -477,7 +483,7 @@ func (c *Conn) trySend() {
 			e.rtxed = true
 			e.sentAt = c.sim.Now()
 			c.Retransmits++
-			c.transmit(cloneWithAck(e.seg, c.rcvNxt), true)
+			c.retransmit(e)
 			pipe += e.seg.PayloadLen
 			continue
 		}
@@ -493,18 +499,17 @@ func (c *Conn) trySend() {
 		if !ok {
 			break
 		}
-		seg := &Segment{
-			Flow:       c.flow,
-			Flags:      FlagACK,
-			Seq:        c.sndNxt,
-			Ack:        c.rcvNxt,
-			PayloadLen: n,
-			Wnd:        DefaultWindow,
-			Opt:        opt,
-		}
+		seg := NewSegment()
+		seg.Flow = c.flow
+		seg.Flags = FlagACK
+		seg.Seq = c.sndNxt
+		seg.Ack = c.rcvNxt
+		seg.PayloadLen = n
+		seg.Wnd = DefaultWindow
+		seg.Opt = opt
 		c.sndNxt += uint64(n)
-		c.transmit(seg, false)
 		c.track(seg)
+		c.transmit(seg)
 		pipe += n
 		if !c.src.Pending() && c.cb.OnSendBufEmpty != nil {
 			c.cb.OnSendBufEmpty(c)
@@ -536,7 +541,9 @@ func (c *Conn) maybeSendFin() {
 	if c.state != StateEstablished && c.state != StateCloseWait {
 		return
 	}
-	fin := &Segment{Flow: c.flow, Flags: FlagFIN | FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: DefaultWindow}
+	fin := NewSegment()
+	fin.Flow, fin.Flags, fin.Seq, fin.Ack, fin.Wnd =
+		c.flow, FlagFIN|FlagACK, c.sndNxt, c.rcvNxt, DefaultWindow
 	c.finSent = true
 	c.finSeq = c.sndNxt
 	c.sndNxt++
@@ -545,8 +552,8 @@ func (c *Conn) maybeSendFin() {
 	} else {
 		c.state = StateClosing
 	}
-	c.transmit(fin, false)
 	c.track(fin)
+	c.transmit(fin)
 	c.armRTOIfIdle()
 }
 
@@ -691,39 +698,40 @@ func (c *Conn) processData(seg *Segment) {
 	}
 }
 
-// sackBlocks selects up to MaxSackBlocks out-of-order intervals to
-// advertise, RFC 2018 style: the block containing the most recent
-// arrival first, then a rotating window over the rest so that a sender
-// facing many holes eventually learns the whole scoreboard.
-func (c *Conn) sackBlocks() []SackBlock {
+// appendSackBlocks appends up to MaxSackBlocks out-of-order intervals
+// to dst, RFC 2018 style: the block containing the most recent arrival
+// first, then a rotating window over the rest so that a sender facing
+// many holes eventually learns the whole scoreboard. It appends into
+// the caller's buffer (the outgoing segment's recycled Sack slice) so
+// steady-state ACKs allocate nothing.
+func (c *Conn) appendSackBlocks(dst []SackBlock) []SackBlock {
 	if len(c.ooo) == 0 {
-		return nil
+		return dst
 	}
-	blocks := make([]SackBlock, 0, MaxSackBlocks)
-	seen := func(b SackBlock) bool {
-		for _, x := range blocks {
-			if x == b {
-				return true
-			}
-		}
-		return false
-	}
+	base := len(dst)
 	// Most recent first: find the interval containing lastOOO.
 	for _, iv := range c.ooo {
 		if c.lastOOO.lo >= iv.lo && c.lastOOO.hi <= iv.hi {
-			blocks = append(blocks, SackBlock{Lo: iv.lo, Hi: iv.hi})
+			dst = append(dst, SackBlock{Lo: iv.lo, Hi: iv.hi})
 			break
 		}
 	}
-	for i := 0; i < len(c.ooo) && len(blocks) < MaxSackBlocks; i++ {
+	for i := 0; i < len(c.ooo) && len(dst)-base < MaxSackBlocks; i++ {
 		iv := c.ooo[(c.sackCursor+i)%len(c.ooo)]
 		b := SackBlock{Lo: iv.lo, Hi: iv.hi}
-		if !seen(b) {
-			blocks = append(blocks, b)
+		dup := false
+		for _, x := range dst[base:] {
+			if x == b {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			dst = append(dst, b)
 		}
 	}
 	c.sackCursor = (c.sackCursor + MaxSackBlocks - 1) % len(c.ooo)
-	return blocks
+	return dst
 }
 
 func (c *Conn) insertOOO(iv interval) {
@@ -755,11 +763,18 @@ func (c *Conn) insertOOO(iv interval) {
 }
 
 func (c *Conn) mergeOOO() {
-	for len(c.ooo) > 0 && c.ooo[0].lo <= c.rcvNxt {
-		if c.ooo[0].hi > c.rcvNxt {
-			c.rcvNxt = c.ooo[0].hi
+	k := 0
+	for k < len(c.ooo) && c.ooo[k].lo <= c.rcvNxt {
+		if c.ooo[k].hi > c.rcvNxt {
+			c.rcvNxt = c.ooo[k].hi
 		}
-		c.ooo = c.ooo[1:]
+		k++
+	}
+	if k > 0 {
+		// Copy down instead of re-slicing so the backing array keeps its
+		// capacity for the next burst of reordering.
+		n := copy(c.ooo, c.ooo[k:])
+		c.ooo = c.ooo[:n]
 	}
 }
 
@@ -807,9 +822,11 @@ func (c *Conn) sendAck() {
 	if c.cb.AckOpt != nil {
 		opt = c.cb.AckOpt(c)
 	}
-	sack := c.sackBlocks()
-	ack := &Segment{Flow: c.flow, Flags: FlagACK, Seq: c.sndNxt, Ack: c.rcvNxt, Wnd: DefaultWindow, Sack: sack, Opt: opt}
-	c.transmit(ack, false)
+	ack := NewSegment()
+	ack.Flow, ack.Flags, ack.Seq, ack.Ack, ack.Wnd, ack.Opt =
+		c.flow, FlagACK, c.sndNxt, c.rcvNxt, DefaultWindow, opt
+	ack.Sack = c.appendSackBlocks(ack.Sack[:0])
+	c.transmit(ack)
 }
 
 // SendWindowUpdate emits a pure ACK advertising the current window.
@@ -825,7 +842,7 @@ func (c *Conn) ackRtxQueue(ack uint64) {
 	i := 0
 	var sampleAt time.Duration = -1
 	for ; i < len(c.rtxq); i++ {
-		e := c.rtxq[i]
+		e := &c.rtxq[i]
 		if e.seg.SeqEnd() > ack {
 			break
 		}
@@ -837,7 +854,12 @@ func (c *Conn) ackRtxQueue(ack uint64) {
 		}
 	}
 	if i > 0 {
-		c.rtxq = c.rtxq[i:]
+		// Copy down instead of re-slicing: the scoreboard array keeps its
+		// capacity, so a steady-state sender stops allocating once the
+		// queue has grown to the window's worth of entries.
+		n := copy(c.rtxq, c.rtxq[i:])
+		clear(c.rtxq[n:])
+		c.rtxq = c.rtxq[:n]
 	}
 	if sampleAt >= 0 {
 		c.rttSample(c.sim.Now() - sampleAt)
@@ -887,37 +909,59 @@ func (c *Conn) rttSample(r time.Duration) {
 	}
 }
 
+// track snapshots a segment into the retransmission scoreboard before
+// it is transmitted: ownership of the wire segment passes to the
+// network at transmit time, so the copy must be taken first.
 func (c *Conn) track(seg *Segment) {
 	if seg.PayloadLen > 0 || seg.Flags.Has(FlagSYN) || seg.Flags.Has(FlagFIN) {
-		c.rtxq = append(c.rtxq, rtxEntry{seg: seg, sentAt: c.sim.Now()})
+		c.rtxq = append(c.rtxq, rtxEntry{seg: *seg, sentAt: c.sim.Now()})
 	}
 }
 
-func (c *Conn) transmit(seg *Segment, isRtx bool) {
+// transmit hands the segment to the interface. The segment must be a
+// pooled wire copy the caller will not touch again: the receiver (or a
+// drop path inside netem) recycles it.
+func (c *Conn) transmit(seg *Segment) {
 	c.segmentsSent++
 	if c.dir == netem.Up {
 		c.iface.SendUp(seg.WireSize(), seg)
 	} else {
 		c.iface.SendDown(seg.WireSize(), seg)
 	}
-	_ = isRtx
 }
+
+// retransmit clones a fresh wire segment from a scoreboard entry,
+// updating the ACK field to the current receive point (the RFC 793
+// rule cloneWithAck used to implement).
+func (c *Conn) retransmit(e *rtxEntry) {
+	seg := NewSegment()
+	sack := seg.Sack
+	*seg = e.seg
+	// Tracked segments never carry SACK blocks; keep the pooled capacity.
+	seg.Sack = sack[:0]
+	seg.Ack = c.rcvNxt
+	if seg.Ack > 0 {
+		seg.Flags |= FlagACK
+	}
+	c.transmit(seg)
+}
+
+func connOnRTO(a any)   { a.(*Conn).onRTO() }
+func connOnProbe(a any) { a.(*Conn).onProbe() }
 
 func (c *Conn) armRTO() {
 	c.cancelRTO()
-	c.rtoTimer = c.sim.After(c.rto, c.onRTO)
+	c.rtoTimer = c.sim.AfterArg(c.rto, connOnRTO, c)
 }
 
 func (c *Conn) armRTOIfIdle() {
-	if c.rtoTimer == nil || !c.rtoTimer.Active() {
+	if !c.rtoTimer.Active() {
 		c.armRTO()
 	}
 }
 
 func (c *Conn) cancelRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 }
 
 // armProbe schedules the tail loss probe 2*SRTT out (minimum 10 ms),
@@ -936,13 +980,11 @@ func (c *Conn) armProbe() {
 		return // RTO fires first anyway
 	}
 	c.cancelProbe()
-	c.probeTimer = c.sim.After(pto, c.onProbe)
+	c.probeTimer = c.sim.AfterArg(pto, connOnProbe, c)
 }
 
 func (c *Conn) cancelProbe() {
-	if c.probeTimer != nil {
-		c.probeTimer.Stop()
-	}
+	c.probeTimer.Stop()
 }
 
 func (c *Conn) onProbe() {
@@ -963,7 +1005,7 @@ func (c *Conn) onProbe() {
 	e.rtxed = true
 	e.sentAt = c.sim.Now()
 	c.Retransmits++
-	c.transmit(cloneWithAck(e.seg, c.rcvNxt), true)
+	c.retransmit(e)
 }
 
 // Abort terminates the connection immediately: timers stop, the state
@@ -1018,20 +1060,11 @@ func (c *Conn) onRTO() {
 	e.rtxed = true
 	e.sentAt = c.sim.Now()
 	c.Retransmits++
-	c.transmit(cloneWithAck(e.seg, c.rcvNxt), true)
+	c.retransmit(e)
 	c.armRTO()
 	if c.cb.OnRTO != nil {
 		c.cb.OnRTO(c, c.rtoCount)
 	}
-}
-
-func cloneWithAck(seg *Segment, ack uint64) *Segment {
-	cp := *seg
-	cp.Ack = ack
-	if ack > 0 {
-		cp.Flags |= FlagACK
-	}
-	return &cp
 }
 
 // String describes the connection.

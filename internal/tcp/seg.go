@@ -24,6 +24,7 @@ package tcp
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 const (
@@ -71,6 +72,13 @@ func (f Flags) String() string {
 // Segment is one TCP segment. Sequence numbers are byte offsets from 0
 // (64-bit, so wraparound never occurs in simulation). Payload bytes are
 // represented by count only — the simulator never materialises data.
+//
+// Segments travelling the wire are pooled (see NewSegment/Recycle):
+// the sending Conn allocates one per transmission, ownership moves with
+// the packet, and exactly one sink recycles it — the receiving
+// tcp.Stack after processing, or netem on its drop paths (Segment
+// implements netem.Recyclable). Senders keep retransmission state as
+// value copies, never references to wire segments.
 type Segment struct {
 	// Flow identifies the connection (and, under MPTCP, the subflow).
 	// It plays the role of the 4-tuple.
@@ -95,6 +103,33 @@ type Segment struct {
 
 // SackBlock is one selective-acknowledgement interval [Lo, Hi).
 type SackBlock struct{ Lo, Hi uint64 }
+
+var segPool = sync.Pool{New: func() any { return new(Segment) }}
+
+// NewSegment returns a zeroed segment from the pool. Its Sack slice may
+// retain capacity from an earlier life; append to Sack[:0] to reuse it.
+func NewSegment() *Segment { return segPool.Get().(*Segment) }
+
+// RecyclableOpt is implemented by segment options that want to be
+// returned to a pool when the wire segment carrying them dies. Only
+// options owned exclusively by the wire segment may act on it: an
+// option also referenced by the sender's retransmission state (MPTCP
+// data-mapping DSS) must make RecycleOpt a no-op, because a recycled
+// copy could still be read from a duplicate in flight.
+type RecyclableOpt interface{ RecycleOpt() }
+
+// Recycle resets the segment (keeping its Sack capacity) and returns it
+// to the pool. It implements netem.Recyclable, so packets dropped
+// inside the network give their segments back too. The caller must not
+// touch the segment afterwards.
+func (s *Segment) Recycle() {
+	if r, ok := s.Opt.(RecyclableOpt); ok {
+		r.RecycleOpt()
+	}
+	sack := s.Sack[:0]
+	*s = Segment{Sack: sack}
+	segPool.Put(s)
+}
 
 // MaxSackBlocks is the maximum number of SACK blocks carried per
 // segment, as in real TCP option space.

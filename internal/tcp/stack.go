@@ -50,21 +50,31 @@ func (s *Stack) sendDir() netem.Direction {
 	return netem.Down
 }
 
+// dispatch is the delivery sink of the pooled hot path: once the
+// payload segment is extracted the packet is released, and after the
+// connection has processed the segment it is recycled too. Handlers
+// (and their callbacks) therefore must not retain the segment or
+// anything aliased to it beyond the handle call — they copy the fields
+// they need, as the MPTCP layer and capture taps do.
 func (s *Stack) dispatch(iface *netem.Iface, p *netem.Packet) {
 	seg, ok := p.Payload.(*Segment)
 	if !ok {
 		return
 	}
+	p.Payload = nil
+	netem.ReleasePacket(p)
 	c := s.conns[seg.Flow]
 	if c == nil {
 		if !seg.Flags.Has(FlagSYN) || seg.Flags.Has(FlagACK) || s.Accept == nil {
-			return // no listener / stray segment
+			seg.Recycle() // no listener / stray segment
+			return
 		}
 		c = NewConn(s.sim, iface, s.sendDir(), seg.Flow, Config{})
 		s.conns[seg.Flow] = c
 		s.Accept(c)
 	}
 	c.handle(seg)
+	seg.Recycle()
 }
 
 // Dial creates an active connection on the given interface and starts
