@@ -2,8 +2,11 @@
 // test` and records the results as a machine-readable report — the
 // repo's bench trajectory artifact.
 //
-// Two benchmark families run:
+// Three benchmark families run:
 //
+//   - scheduler micro-benchmarks (sched/*): the simnet timing-wheel
+//     kernel alone — schedule/fire churn, cancel-heavy timer churn, and
+//     scheduling against a deep pending set;
 //   - kernel micro-benchmarks: TCP bulk transfers and MPTCP two-subflow
 //     transfers over the simulated WiFi+LTE pair, the per-packet hot
 //     path every experiment hammers;
@@ -15,6 +18,7 @@
 //	bench [-out BENCH_report.json] [-baseline BENCH_baseline.json]
 //	      [-check] [-rebase] [-maxslow 1.15] [-count 5] [-benchtime 1s]
 //	      [-only name[,name...]] [-skip-experiments]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out] [-diff compare.txt]
 //
 // -out writes the report (ns/op, B/op, allocs/op per benchmark).
 // -baseline names the committed reference report. With -check, the run
@@ -32,8 +36,14 @@
 // the -check gate compares the machine's best speed and worst
 // allocation behaviour.
 //
-// CI runs `bench -check` on every push; see .github/workflows/ci.yml
-// and the "Benchmark trajectory" section of EXPERIMENTS.md.
+// -cpuprofile / -memprofile write pprof profiles covering the selected
+// benchmarks, for hunting the next hot spot without rebuilding the
+// harness by hand. -diff writes a per-benchmark baseline-vs-run
+// comparison table (the nightly workflow uploads it as an artifact).
+//
+// CI runs `bench -check` on every push and the nightly workflow uploads
+// a baseline-vs-report comparison artifact; see .github/workflows/ and
+// the "Benchmark trajectory" section of EXPERIMENTS.md.
 package main
 
 import (
@@ -42,6 +52,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"testing"
 	"time"
@@ -75,6 +86,76 @@ type Report struct {
 type bench struct {
 	name string
 	fn   func(b *testing.B)
+}
+
+// nopEvent is the no-op body for pure scheduler benchmarks.
+func nopEvent(any) {}
+
+// schedFireChurn measures the schedule+fire cycle with 64 event chains
+// in flight: each fired event schedules its successor, the ACK-clocked
+// steady state of every transport benchmark below. b.N counts fired
+// events.
+func schedFireChurn(b *testing.B) {
+	s := simnet.New(1)
+	fired := 0
+	var step func(any)
+	step = func(any) {
+		fired++
+		if fired < b.N {
+			s.AfterArg(731*time.Microsecond, step, nil)
+		}
+	}
+	for i := 0; i < 64 && i < b.N; i++ {
+		s.AfterArg(time.Duration(i+1)*time.Microsecond, step, nil)
+	}
+	b.ResetTimer()
+	s.Run()
+	if fired < b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
+}
+
+// schedCancelChurn measures the schedule+cancel cycle of a
+// retransmission-timer workload: every op arms a timer ~200 ms out and
+// stops it again, with a small set of live timers pending throughout.
+func schedCancelChurn(b *testing.B) {
+	s := simnet.New(1)
+	for i := 0; i < 16; i++ {
+		s.AfterArg(time.Duration(i+1)*time.Hour, nopEvent, nil)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AfterArg(200*time.Millisecond, nopEvent, nil).Stop()
+	}
+}
+
+// schedDeepPending measures schedule/fire cost with 64k long-lived
+// timers pending while the measured chain schedules and fires through
+// them — the depth at which a comparison-based queue pays O(log n) per
+// event.
+func schedDeepPending(b *testing.B) {
+	s := simnet.New(1)
+	// The deep set sits past any reachable horizon: the chain fires one
+	// event per 5 µs, so even go-test's 1e9 iteration cap stays under
+	// 84 min of virtual time, clear of the 2 h floor.
+	const deep = 64 << 10
+	for i := 0; i < deep; i++ {
+		s.AfterArg(2*time.Hour+time.Duration(i)*time.Millisecond, nopEvent, nil)
+	}
+	fired := 0
+	var step func(any)
+	step = func(any) {
+		fired++
+		if fired < b.N {
+			s.AfterArg(5*time.Microsecond, step, nil)
+		}
+	}
+	s.AfterArg(time.Microsecond, step, nil)
+	b.ResetTimer()
+	s.RunUntil(time.Microsecond + time.Duration(b.N)*5*time.Microsecond)
+	if fired < b.N {
+		b.Fatalf("fired %d events, want %d", fired, b.N)
+	}
 }
 
 // tcpDownload transfers size bytes server→client over one fixed-rate
@@ -159,6 +240,9 @@ func mptcpDownload(b *testing.B, size int, cc mptcp.CongestionMode) {
 // per-packet hot path.
 func kernelBenchmarks() []bench {
 	return []bench{
+		{"sched/fire-churn", schedFireChurn},
+		{"sched/cancel-churn", schedCancelChurn},
+		{"sched/deep-pending", schedDeepPending},
 		{"tcp/download-100KB", func(b *testing.B) { tcpDownload(b, 100<<10, 0) }},
 		{"tcp/download-1MB", func(b *testing.B) { tcpDownload(b, 1<<20, 0) }},
 		{"tcp/download-1MB-lossy", func(b *testing.B) { tcpDownload(b, 1<<20, 0.02) }},
@@ -221,6 +305,44 @@ func compare(base, cur []Result, maxSlow float64, gateNs bool) []string {
 	return bad
 }
 
+// writeDiff renders a per-benchmark comparison of base vs cur.
+func writeDiff(path string, base, cur Report) error {
+	baseBy := make(map[string]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[r.Name] = r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "baseline %s/%s %d CPUs vs run %s/%s %d CPUs\n\n",
+		base.GoOS, base.GoArch, base.NumCPU, cur.GoOS, cur.GoArch, cur.NumCPU)
+	fmt.Fprintf(&sb, "%-34s %14s %14s %8s %10s %10s\n",
+		"benchmark", "base ns/op", "ns/op", "delta", "base a/op", "a/op")
+	for _, r := range cur.Results {
+		b, ok := baseBy[r.Name]
+		if !ok {
+			fmt.Fprintf(&sb, "%-34s %14s %14.0f %8s %10s %10d  (new)\n",
+				r.Name, "-", r.NsPerOp, "-", "-", r.AllocsOp)
+			continue
+		}
+		delete(baseBy, r.Name)
+		delta := "-"
+		if b.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", (r.NsPerOp/b.NsPerOp-1)*100)
+		}
+		fmt.Fprintf(&sb, "%-34s %14.0f %14.0f %8s %10s %10d\n",
+			r.Name, b.NsPerOp, r.NsPerOp, delta, fmt.Sprint(b.AllocsOp), r.AllocsOp)
+	}
+	// Baseline rows the run never produced (renamed, deleted, or
+	// filtered out by -only) must not vanish silently: a reader of the
+	// artifact would otherwise assume full coverage.
+	for _, b := range base.Results {
+		if _, gone := baseBy[b.Name]; gone {
+			fmt.Fprintf(&sb, "%-34s %14.0f %14s %8s %10d %10s  (not run)\n",
+				b.Name, b.NsPerOp, "-", "-", b.AllocsOp, "-")
+		}
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
 func loadReport(path string) (Report, error) {
 	var rep Report
 	data, err := os.ReadFile(path)
@@ -249,6 +371,9 @@ func main() {
 	skipExp := flag.Bool("skip-experiments", false, "run only the kernel micro-benchmarks")
 	count := flag.Int("count", 5, "repetitions per benchmark (min ns/op, max allocs/op reported)")
 	benchtime := flag.String("benchtime", "", "per-repetition benchmark time (go test -benchtime syntax)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile covering the selected benchmarks")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the selected benchmarks")
+	diff := flag.String("diff", "", "write a baseline-vs-run comparison table here")
 	testing.Init()
 	flag.Parse()
 	if *benchtime != "" {
@@ -291,6 +416,36 @@ func main() {
 		benches = kept
 	}
 
+	stopProfile := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "creating -cpuprofile:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "starting CPU profile:", err)
+			os.Exit(1)
+		}
+		var once bool
+		stopProfile = func() {
+			if once {
+				return
+			}
+			once = true
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+		defer stopProfile()
+	}
+	// exit flushes the CPU profile before terminating: os.Exit skips
+	// deferred calls, which would leave a truncated, unparseable profile
+	// on exactly the runs (gate failures) where the profile matters.
+	exit := func(code int) {
+		stopProfile()
+		os.Exit(code)
+	}
+
 	rep := Report{GoOS: runtime.GOOS, GoArch: runtime.GOARCH, NumCPU: runtime.NumCPU()}
 	for _, bm := range benches {
 		start := time.Now()
@@ -314,18 +469,45 @@ func main() {
 			time.Since(start).Round(time.Millisecond))
 	}
 
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "creating -memprofile:", err)
+			exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "writing heap profile:", err)
+			exit(1)
+		}
+		f.Close()
+	}
+
 	if *out != "" {
 		if err := writeReport(*out, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "writing report:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "report written to %s (%d benchmarks)\n", *out, len(rep.Results))
+	}
+
+	if *diff != "" {
+		base, err := loadReport(*baseline)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "loading baseline %s for -diff: %v\n", *baseline, err)
+			exit(1)
+		}
+		if err := writeDiff(*diff, base, rep); err != nil {
+			fmt.Fprintln(os.Stderr, "writing -diff:", err)
+			exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "comparison written to %s\n", *diff)
 	}
 
 	if *rebase {
 		if err := writeReport(*baseline, rep); err != nil {
 			fmt.Fprintln(os.Stderr, "rewriting baseline:", err)
-			os.Exit(1)
+			exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "baseline %s rewritten; commit it to accept the new floor\n", *baseline)
 		return
@@ -335,7 +517,7 @@ func main() {
 		base, err := loadReport(*baseline)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "loading baseline %s: %v\n", *baseline, err)
-			os.Exit(1)
+			exit(1)
 		}
 		gateNs := envMatches(base, rep)
 		if !gateNs {
@@ -349,7 +531,7 @@ func main() {
 			for _, line := range bad {
 				fmt.Fprintln(os.Stderr, "  "+line)
 			}
-			os.Exit(1)
+			exit(1)
 		}
 		if gateNs {
 			fmt.Fprintf(os.Stderr, "no regressions vs %s (allocs/op exact, ns/op within %.0f%%)\n",

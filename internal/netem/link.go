@@ -156,13 +156,27 @@ func (b *baseLink) purge() {
 }
 
 // FixedLink is a constant-bit-rate link.
+//
+// It runs on an elided event schedule: because service is FIFO at a
+// known rate, a packet's serialisation-done and arrival instants are
+// both computable the moment it is admitted —
+//
+//	start_i = max(done_{i-1}, admit_i)   (the virtual serialiser clock)
+//	done_i  = start_i + size_i / rate
+//	arrive_i = done_i + PropDelay
+//
+// — so each packet schedules exactly one kernel event (its arrival)
+// instead of the serialisation-done + propagation-arrival pair the
+// explicit service loop needed. The queue is virtual: admitted packets
+// stay on the service ring until their done instant passes (lazily
+// evicted), which keeps droptail occupancy — "waiting or serialising
+// packets" — identical to the explicit model at every admission check.
 type FixedLink struct {
 	baseLink
-	rateBps   float64 // bits per second
+	rateBps float64 // bits per second
+	// busyUntil is the virtual serialiser clock: the done instant of
+	// the last admitted packet.
 	busyUntil time.Duration
-	serving   bool
-	inService *Packet      // head packet whose transmission is scheduled
-	doneTimer simnet.Timer // fires when inService finishes serialising
 }
 
 // NewFixedLink creates a link that transmits at rateMbps megabits per
@@ -180,65 +194,122 @@ func NewFixedLink(sim *simnet.Sim, rateMbps float64, cfg LinkConfig) *FixedLink 
 // RateMbps returns the configured rate in Mbit/s.
 func (l *FixedLink) RateMbps() float64 { return l.rateBps / 1e6 }
 
+// txTime returns the serialisation time of size bytes at the current
+// rate.
+func (l *FixedLink) txTime(size int) time.Duration {
+	return time.Duration(float64(size*8) / l.rateBps * float64(time.Second))
+}
+
 // SetRateMbps changes the link rate; it applies to packets whose
-// transmission starts after the change.
+// transmission starts after the change. Packets already admitted but
+// not yet started have precomputed schedules under the old rate, so
+// their delivery events are recomputed here — the rare O(queue) cost
+// that keeps the per-packet path O(1).
 func (l *FixedLink) SetRateMbps(mbps float64) {
 	if mbps <= 0 {
 		panic("netem: FixedLink rate must be positive")
 	}
 	l.rateBps = mbps * 1e6
+	now := l.sim.Now()
+	l.evict()
+	q := &l.queue
+	base := now
+	for i := q.head; i < len(q.buf); i++ {
+		p := q.buf[i]
+		if p.startAt <= now {
+			// In service: its transmission began under the old rate and
+			// keeps it (done/arrival already scheduled correctly).
+			base = p.doneAt
+			continue
+		}
+		p.arrive.Stop()
+		start := base
+		if p.SendTime > start {
+			start = p.SendTime
+		}
+		p.startAt = start
+		p.doneAt = start + l.txTime(p.Size)
+		p.arrive = l.sim.ScheduleArg(p.doneAt+l.cfg.PropDelay, fixedLinkArrive, p)
+		base = p.doneAt
+	}
+	if q.len() > 0 {
+		l.busyUntil = base
+	}
+}
+
+// evict pops service-ring packets whose serialisation has completed:
+// they no longer occupy the droptail queue. Ownership of an evicted
+// packet rests solely with its pending arrival event.
+func (l *FixedLink) evict() {
+	now := l.sim.Now()
+	for l.queue.len() > 0 && l.queue.peek().doneAt <= now {
+		l.queue.pop()
+	}
 }
 
 // Send implements Link.
 func (l *FixedLink) Send(p *Packet) {
+	l.evict() // occupancy must be current before admit's droptail check
 	if !l.admit(p) {
 		return
 	}
-	if !l.serving {
-		l.serveNext()
+	start := l.busyUntil
+	if now := l.sim.Now(); start < now {
+		start = now
 	}
+	p.startAt = start
+	p.doneAt = start + l.txTime(p.Size)
+	l.busyUntil = p.doneAt
+	p.fl = l
+	p.arrive = l.sim.ScheduleArg(p.doneAt+l.cfg.PropDelay, fixedLinkArrive, p)
 }
 
-func (l *FixedLink) serveNext() {
-	if l.queue.len() == 0 || l.down || l.blackhole {
-		l.serving = false
-		return
-	}
-	l.serving = true
-	p := l.queue.peek()
-	txTime := time.Duration(float64(p.Size*8) / l.rateBps * float64(time.Second))
-	start := l.sim.Now()
-	if l.busyUntil > start {
-		start = l.busyUntil
-	}
-	done := start + txTime
-	l.busyUntil = done
-	l.inService = p
-	l.doneTimer = l.sim.ScheduleArg(done, fixedLinkDone, l)
-}
-
-// fixedLinkDone fires when the in-service packet finishes serialising.
-func fixedLinkDone(a any) {
-	l := a.(*FixedLink)
-	p := l.inService
-	l.inService = nil
+// fixedLinkArrive fires when a packet reaches the far end: the single
+// per-packet event of the elided schedule.
+func fixedLinkArrive(a any) {
+	p := a.(*Packet)
+	l := p.fl
+	p.fl = nil
+	p.arrive = simnet.Timer{}
+	// Arrivals run in serialisation order, so p itself is always among
+	// the evicted: after this the ring holds no reference to it and
+	// ownership can pass to the receiver (or the drop sink).
+	l.evict()
 	if l.down || l.blackhole {
-		l.serving = false
+		// The packet was on the wire when the link died: it is lost.
+		l.stats.DroppedDown++
+		dropPacket(p)
 		return
 	}
-	if p != nil && l.queue.len() > 0 && l.queue.peek() == p {
-		l.queue.pop()
-		l.deliver(p)
+	l.stats.Delivered++
+	l.stats.BytesOut += int64(p.Size)
+	if l.recv == nil {
+		dropPacket(p)
+		return
 	}
-	l.serveNext()
+	l.recv(p)
 }
 
-// stopService cancels the pending serialisation event (the serviced
-// packet itself is purged with the rest of the queue).
+// stopService drops every admitted packet that has not finished
+// serialising (the explicit model's queue purge): their arrival events
+// are cancelled and the packets die as down-drops. Packets already
+// serialised keep their arrival events and are lost there instead, as
+// in-flight casualties.
 func (l *FixedLink) stopService() {
-	l.doneTimer.Stop()
-	l.inService = nil
-	l.serving = false
+	l.evict()
+	for l.queue.len() > 0 {
+		p := l.queue.pop()
+		p.arrive.Stop()
+		p.fl = nil
+		l.stats.DroppedDown++
+		dropPacket(p)
+	}
+}
+
+// QueueLen implements Link: packets waiting or serialising right now.
+func (l *FixedLink) QueueLen() int {
+	l.evict()
+	return l.queue.len()
 }
 
 // SetDown implements Link. Bringing the link down purges the queue.
@@ -247,10 +318,8 @@ func (l *FixedLink) SetDown(down bool) {
 	l.down = down
 	if down {
 		l.stopService()
-		l.purge()
 	} else if was && !down {
 		l.busyUntil = l.sim.Now()
-		l.serveNext()
 	}
 }
 
@@ -260,10 +329,8 @@ func (l *FixedLink) SetBlackhole(bh bool) {
 	l.blackhole = bh
 	if bh {
 		l.stopService()
-		l.purge()
 	} else if was && !bh {
 		l.busyUntil = l.sim.Now()
-		l.serveNext()
 	}
 }
 

@@ -395,3 +395,168 @@ func TestPromotionKeepsFIFO(t *testing.T) {
 		}
 	}
 }
+
+// --- elided-schedule FixedLink edge cases ------------------------------
+
+// Rate changes apply to transmissions starting after the change: the
+// in-service packet keeps its old schedule, queued packets are
+// recomputed under the new rate.
+func TestFixedLinkRateChangeMidService(t *testing.T) {
+	s := simnet.New(1)
+	l := NewFixedLink(s, 1, LinkConfig{}) // 1500 B = 12 ms per packet
+	var times []time.Duration
+	l.SetReceiver(func(p *Packet) { times = append(times, s.Now()) })
+	for i := 0; i < 3; i++ {
+		l.Send(&Packet{Size: 1500})
+	}
+	s.Schedule(6*time.Millisecond, func() { l.SetRateMbps(12) }) // mid-service of packet 1
+	s.Run()
+	// Packet 1 started under 1 Mbit/s and keeps it (done 12 ms); packets
+	// 2 and 3 serialise at 12 Mbit/s (1 ms each) behind it.
+	want := []time.Duration{12 * time.Millisecond, 13 * time.Millisecond, 14 * time.Millisecond}
+	if len(times) != len(want) {
+		t.Fatalf("delivered %d, want %d", len(times), len(want))
+	}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("delivery %d at %v, want %v", i, times[i], want[i])
+		}
+	}
+	if l.RateMbps() != 12 {
+		t.Fatalf("RateMbps = %v, want 12", l.RateMbps())
+	}
+}
+
+// A rate change while the link is idle affects the next admission only.
+func TestFixedLinkRateChangeIdle(t *testing.T) {
+	s := simnet.New(1)
+	l := NewFixedLink(s, 1, LinkConfig{})
+	var at time.Duration
+	l.SetReceiver(func(p *Packet) { at = s.Now() })
+	l.SetRateMbps(12)
+	l.Send(&Packet{Size: 1500})
+	s.Run()
+	if at != time.Millisecond {
+		t.Fatalf("delivery at %v, want 1ms", at)
+	}
+}
+
+// Link-down at exactly the head packet's serialisation-done instant:
+// the packet is on the wire (lost at its arrival, not purged), while
+// still-serialising packets purge immediately. Either way nothing is
+// delivered and every loss is a down-drop.
+func TestFixedLinkDownAtSerialisationDone(t *testing.T) {
+	s := simnet.New(1)
+	l := NewFixedLink(s, 12, LinkConfig{PropDelay: 50 * time.Millisecond})
+	delivered := 0
+	l.SetReceiver(func(p *Packet) { delivered++ })
+	l.Send(&Packet{Size: 1500}) // done at 1 ms, arrival due 51 ms
+	l.Send(&Packet{Size: 1500}) // done at 2 ms: still serialising at 1 ms
+	s.Schedule(time.Millisecond, func() { l.SetDown(true) })
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d over a link that died at serialisation-done", delivered)
+	}
+	st := l.Stats()
+	if st.DroppedDown != 2 {
+		t.Fatalf("DroppedDown = %d, want 2", st.DroppedDown)
+	}
+	if st.Delivered != 0 || st.BytesOut != 0 {
+		t.Fatalf("Delivered/BytesOut = %d/%d, want 0/0", st.Delivered, st.BytesOut)
+	}
+	// The link still works after recovery.
+	l.SetDown(false)
+	l.Send(&Packet{Size: 1500})
+	s.Run()
+	if delivered != 1 {
+		t.Fatalf("delivered %d after recovery, want 1", delivered)
+	}
+}
+
+// Droptail occupancy counts waiting-or-serialising packets only:
+// packets whose serialisation finished free their slot even while they
+// are still propagating.
+func TestFixedLinkOccupancyExcludesSerialised(t *testing.T) {
+	s := simnet.New(1)
+	// 12 Mbit/s: 1 ms serialisation; 1 s propagation keeps deliveries far out.
+	l := NewFixedLink(s, 12, LinkConfig{PropDelay: time.Second, QueueLimit: 2})
+	delivered := 0
+	l.SetReceiver(func(p *Packet) { delivered++ })
+	l.Send(&Packet{Size: 1500})
+	l.Send(&Packet{Size: 1500})
+	if got := l.QueueLen(); got != 2 {
+		t.Fatalf("QueueLen = %d, want 2", got)
+	}
+	l.Send(&Packet{Size: 1500}) // over the limit: dropped
+	if st := l.Stats(); st.DroppedQueue != 1 {
+		t.Fatalf("DroppedQueue = %d, want 1", st.DroppedQueue)
+	}
+	s.RunUntil(5 * time.Millisecond) // both packets serialised, still in flight
+	if got := l.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after serialisation = %d, want 0 (packets only propagate)", got)
+	}
+	l.Send(&Packet{Size: 1500}) // slot free again
+	l.Send(&Packet{Size: 1500})
+	if st := l.Stats(); st.DroppedQueue != 1 {
+		t.Fatalf("late admissions dropped: DroppedQueue = %d, want 1", st.DroppedQueue)
+	}
+	s.Run()
+	if delivered != 4 {
+		t.Fatalf("delivered %d, want 4", delivered)
+	}
+}
+
+// A blackhole mid-flight swallows propagating packets silently, exactly
+// like an administrative down (paper Fig. 15g: traffic vanishes).
+func TestFixedLinkBlackholeKillsInFlight(t *testing.T) {
+	s := simnet.New(1)
+	l := NewFixedLink(s, 12, LinkConfig{PropDelay: 50 * time.Millisecond})
+	delivered := 0
+	l.SetReceiver(func(p *Packet) { delivered++ })
+	l.Send(&Packet{Size: 1500})
+	s.RunUntil(20 * time.Millisecond)
+	l.SetBlackhole(true)
+	s.Run()
+	if delivered != 0 {
+		t.Fatal("in-flight packet survived blackhole")
+	}
+	if st := l.Stats(); st.DroppedDown != 1 || st.Delivered != 0 {
+		t.Fatalf("stats = %+v, want 1 down-drop and 0 delivered", st)
+	}
+}
+
+// Property: FixedLink stats are conserved across down/up churn — every
+// admitted packet is eventually delivered or counted in exactly one
+// drop bucket, and the delivery callback count matches Delivered.
+func TestPropertyFixedLinkConservation(t *testing.T) {
+	f := func(seed int64, count, toggleMs uint8) bool {
+		s := simnet.New(seed)
+		l := NewFixedLink(s, 8, LinkConfig{
+			PropDelay:  12 * time.Millisecond,
+			QueueLimit: 6,
+			LossProb:   0.1,
+			RNG:        s.RNG("loss"),
+		})
+		delivered := 0
+		l.SetReceiver(func(p *Packet) { delivered++ })
+		offered := int(count)%40 + 1
+		for i := 0; i < offered; i++ {
+			at := time.Duration(i) * time.Millisecond
+			s.Schedule(at, func() { l.Send(&Packet{Size: 1200}) })
+		}
+		down := time.Duration(int(toggleMs)%30+1) * time.Millisecond
+		s.Schedule(down, func() { l.SetDown(true) })
+		s.Schedule(down+7*time.Millisecond, func() { l.SetDown(false) })
+		s.Run()
+		st := l.Stats()
+		// Every offered packet ends in exactly one bucket: delivered, or
+		// one of the three drop counters (DroppedDown covers both
+		// admit-while-down and lost-in-flight).
+		return st.Delivered == delivered &&
+			offered == st.Delivered+st.DroppedLoss+st.DroppedQueue+st.DroppedDown &&
+			st.Sent >= st.Delivered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,17 +1,22 @@
 // Package simnet provides the discrete-event simulation kernel that every
 // other subsystem in this repository runs on.
 //
-// A Sim owns a virtual clock and an event heap. Events execute in
-// timestamp order (ties broken by scheduling order), so a simulation with
-// a fixed seed is bit-reproducible across runs and platforms. There are
-// no wall-clock sleeps anywhere: simulating 180 days of the paper's
-// crowd-sourced measurement campaign takes seconds of real time.
+// A Sim owns a virtual clock and a hierarchical timing wheel (see
+// wheel.go). Events execute in timestamp order (ties broken by
+// scheduling order), so a simulation with a fixed seed is
+// bit-reproducible across runs and platforms. There are no wall-clock
+// sleeps anywhere: simulating 180 days of the paper's crowd-sourced
+// measurement campaign takes seconds of real time.
 //
-// The kernel is allocation-free in steady state: fired and cancelled
-// events return to a free list and are reused by later Schedule calls,
-// and the arg-passing variants (ScheduleArg, AfterArg, DeferArg) let hot
-// callers avoid per-event closure captures entirely. Timer is a small
-// value type; handing one around never allocates.
+// Schedule, cancel and fire are all amortised O(1): scheduling files the
+// event into a wheel slot, cancelling marks it in place, and firing
+// drains one slot per tick into a due bucket that whole same-tick bursts
+// dispatch from. The kernel is also allocation-free in steady state:
+// fired and cancelled events return to a free list and are reused by
+// later Schedule calls, and the arg-passing variants (ScheduleArg,
+// AfterArg, DeferArg) let hot callers avoid per-event closure captures
+// entirely. Timer is a small value type; handing one around never
+// allocates.
 //
 // Randomness is handled through named streams (see Sim.RNG) so that
 // adding a new consumer of randomness does not perturb the draws seen by
@@ -28,8 +33,13 @@ import (
 //
 // The zero value is not usable; construct with New.
 type Sim struct {
-	now     time.Duration
-	events  eventHeap
+	now time.Duration
+	// wheel holds pending events beyond the current tick; due is the
+	// (at, seq)-sorted batch for the tick being dispatched, consumed
+	// from dueHead.
+	wheel   wheel
+	due     []*event
+	dueHead int
 	free    []*event // recycled events awaiting reuse
 	seq     uint64
 	seed    int64
@@ -38,11 +48,12 @@ type Sim struct {
 	// processed counts events executed since construction; exposed for
 	// tests and for sanity checks that experiments actually ran.
 	processed uint64
-	// cancelled counts heap entries whose timer was stopped but which
-	// have not been removed yet; Timer.Stop compacts the heap when they
-	// outnumber the live entries, so a workload that schedules and
-	// cancels timers indefinitely (e.g. per-packet retransmission
-	// timers) keeps the heap proportional to the live timer count.
+	// live counts pending non-cancelled events (Pending is O(1));
+	// cancelled counts due-bucket entries whose timer was stopped after
+	// their slot drained — they are reclaimed when their position pops,
+	// so they never outlive the current tick's batch. (Wheel-resident
+	// events are unlinked and recycled by Stop directly.)
+	live      int
 	cancelled int
 }
 
@@ -78,18 +89,24 @@ type Timer struct {
 	seq uint64
 }
 
-// Stop cancels the timer. It reports whether the event had not yet fired.
+// Stop cancels the timer. It reports whether the event had not yet
+// fired. Cancellation is O(1): a wheel-resident event is unlinked from
+// its slot and recycled on the spot; an event already drained into the
+// due bucket is marked and reclaimed when its position pops.
 func (t Timer) Stop() bool {
 	ev := t.ev
 	if ev == nil || ev.seq != t.seq || ev.fn == nil {
 		return false
 	}
-	ev.fn = nil // heap entry stays until run pops it or compact removes it
+	ev.fn = nil
 	ev.arg = nil
 	if s := t.sim; s != nil {
-		s.cancelled++
-		if s.cancelled > len(s.events)/2 {
-			s.compact()
+		s.live--
+		if ev.prevp != nil {
+			s.unlink(ev)
+			s.recycle(ev)
+		} else {
+			s.cancelled++
 		}
 	}
 	return true
@@ -136,7 +153,8 @@ func (s *Sim) ScheduleArg(at time.Duration, fn func(any), arg any) Timer {
 		panic(fmt.Sprintf("simnet: scheduling into the past: at=%v now=%v", at, s.now))
 	}
 	ev := s.newEvent(at, fn, arg)
-	s.events.push(ev)
+	s.place(ev)
+	s.live++
 	return Timer{sim: s, ev: ev, seq: ev.seq}
 }
 
@@ -190,13 +208,15 @@ func (s *Sim) newEvent(at time.Duration, fn func(any), arg any) *event {
 func (s *Sim) recycle(ev *event) {
 	ev.fn = nil
 	ev.arg = nil
+	ev.next = nil
+	ev.prevp = nil
 	s.free = append(s.free, ev)
 }
 
 // Stop halts Run/RunUntil after the event currently executing returns.
 func (s *Sim) Stop() { s.stopped = true }
 
-// Run executes events until the heap is empty or Stop is called. It
+// Run executes events until the wheel is empty or Stop is called. It
 // returns the number of events executed by this call.
 func (s *Sim) Run() int {
 	return s.run(-1)
@@ -220,24 +240,35 @@ func (s *Sim) RunFor(d time.Duration) int { return s.RunUntil(s.now + d) }
 
 func (s *Sim) run(until time.Duration) int {
 	s.stopped = false
+	untilTick := noTick
+	if until >= 0 {
+		untilTick = int64(until) >> tickShift
+	}
 	n := 0
-	for len(s.events) > 0 && !s.stopped {
-		next := s.events[0]
-		if until >= 0 && next.at > until {
+	for !s.stopped {
+		if s.dueHead == len(s.due) {
+			s.due = s.due[:0]
+			s.dueHead = 0
+			if !s.fillBucket(untilTick) {
+				break
+			}
+		}
+		ev := s.due[s.dueHead]
+		if until >= 0 && ev.at > until {
 			break
 		}
-		s.events.popHead()
-		if next.fn == nil { // cancelled
-			s.cancelled--
-			s.recycle(next)
+		s.dueHead++
+		if ev.fn == nil { // cancelled after the slot drained
+			s.reclaim(ev)
 			continue
 		}
-		s.now = next.at
-		fn, arg := next.fn, next.arg
+		s.now = ev.at
+		fn, arg := ev.fn, ev.arg
 		// Recycle before running: fn may schedule new events, and reusing
 		// this one immediately keeps the free list minimal. Stale Timer
 		// handles are protected by the generation check.
-		s.recycle(next)
+		s.live--
+		s.recycle(ev)
 		fn(arg)
 		n++
 		s.processed++
@@ -247,29 +278,14 @@ func (s *Sim) run(until time.Duration) int {
 
 // Pending returns the number of live (not cancelled) scheduled events.
 func (s *Sim) Pending() int {
-	return len(s.events) - s.cancelled
+	return s.live
 }
 
-// compact removes cancelled entries from the event heap and restores
-// the heap invariant. Timer handles to removed events stay valid: a
-// compacted-away event is recycled, so Stop and Active treat it as
-// fired.
-func (s *Sim) compact() {
-	live := s.events[:0]
-	for _, ev := range s.events {
-		if ev.fn != nil {
-			live = append(live, ev)
-		} else {
-			s.recycle(ev)
-		}
-	}
-	// Release the tail so moved entries are not referenced twice.
-	for i := len(live); i < len(s.events); i++ {
-		s.events[i] = nil
-	}
-	s.events = live
-	s.events.init()
-	s.cancelled = 0
+// held returns the number of event entries the kernel currently holds,
+// live and cancelled-but-unreclaimed alike; tests use it to pin the
+// cancellation-reclaim bound.
+func (s *Sim) held() int {
+	return s.live + s.cancelled
 }
 
 // RNG returns the deterministic random stream with the given name,
@@ -307,75 +323,18 @@ func streamSeed(seed int64, name string) int64 {
 	return int64(h)
 }
 
-// event is a single heap entry.
+// event is a single scheduled entry. Pending events live either in a
+// wheel slot's intrusive doubly-linked list (next, plus prevp holding
+// the address of the pointer that points here, so unlinking is O(1)
+// without a full prev node) or in the due bucket (prevp nil). lvl/idx
+// remember the slot for occupancy bookkeeping on unlink.
 type event struct {
-	at  time.Duration
-	seq uint64 // FIFO tiebreak for identical timestamps + Timer generation
-	fn  func(any)
-	arg any
-}
-
-// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). The
-// container/heap indirection was measurable in profiles of sweep-scale
-// runs, so the sift operations are implemented directly.
-type eventHeap []*event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(ev *event) {
-	*h = append(*h, ev)
-	h.up(len(*h) - 1)
-}
-
-// popHead removes the minimum element (the caller has already read it).
-func (h *eventHeap) popHead() {
-	old := *h
-	last := len(old) - 1
-	old[0] = old[last]
-	old[last] = nil
-	*h = old[:last]
-	if last > 1 {
-		h.down(0)
-	}
-}
-
-func (h eventHeap) up(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h eventHeap) down(i int) {
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		least := left
-		if right := left + 1; right < n && h.less(right, left) {
-			least = right
-		}
-		if !h.less(least, i) {
-			break
-		}
-		h[i], h[least] = h[least], h[i]
-		i = least
-	}
-}
-
-func (h eventHeap) init() {
-	for i := len(h)/2 - 1; i >= 0; i-- {
-		h.down(i)
-	}
+	at    time.Duration
+	seq   uint64 // FIFO tiebreak for identical timestamps + Timer generation
+	fn    func(any)
+	arg   any
+	next  *event
+	prevp **event
+	lvl   uint8
+	idx   uint8
 }

@@ -308,7 +308,7 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 }
 
-func TestCancelledTimerCompaction(t *testing.T) {
+func TestCancelledTimerReclaim(t *testing.T) {
 	s := New(1)
 	const n = 1024
 	timers := make([]Timer, n)
@@ -321,25 +321,26 @@ func TestCancelledTimerCompaction(t *testing.T) {
 	if got := s.Pending(); got != 1 {
 		t.Fatalf("Pending = %d, want 1", got)
 	}
-	// Cancelled entries may not accumulate: after cancelling all but
-	// one timer the heap must have been compacted down to the live one.
-	if len(s.events) != 1 {
-		t.Fatalf("heap holds %d entries after cancelling %d of %d timers", len(s.events), n-1, n)
+	// Cancelled entries may not accumulate: Stop unlinks wheel-resident
+	// events on the spot, so the kernel holds the live timer plus at
+	// most a due-bucket's worth of marked entries.
+	if got := s.held(); got > 2 {
+		t.Fatalf("kernel holds %d entries after cancelling %d of %d timers", got, n-1, n)
 	}
 	if got := s.Run(); got != 1 {
 		t.Fatalf("Run executed %d events, want 1", got)
 	}
 }
 
-func TestTimerChurnKeepsHeapBounded(t *testing.T) {
+func TestTimerChurnKeepsKernelBounded(t *testing.T) {
 	// A workload that schedules and cancels timers forever (per-packet
-	// retransmission timers) must not grow the heap without bound.
+	// retransmission timers) must not grow the kernel without bound.
 	s := New(1)
 	s.After(time.Hour, func() {})
 	for i := 0; i < 100000; i++ {
 		s.After(time.Minute, func() {}).Stop()
-		if len(s.events) > 8 {
-			t.Fatalf("iteration %d: heap grew to %d entries", i, len(s.events))
+		if got := s.held(); got > 4 {
+			t.Fatalf("iteration %d: kernel grew to %d entries", i, got)
 		}
 	}
 	if s.Pending() != 1 {
@@ -347,34 +348,41 @@ func TestTimerChurnKeepsHeapBounded(t *testing.T) {
 	}
 }
 
-func TestCompactionPreservesOrderAndHandles(t *testing.T) {
+func TestCancellationPreservesOrderAndHandles(t *testing.T) {
 	s := New(1)
 	var fired []int
-	timers := make([]Timer, 100)
+	const n = 200
+	timers := make([]Timer, n)
 	for i := range timers {
 		i := i
 		// Deadlines decrease with i so execution order differs from
 		// scheduling order.
-		timers[i] = s.After(time.Duration(100-i)*time.Millisecond, func() { fired = append(fired, i) })
+		timers[i] = s.After(time.Duration(n-i)*time.Millisecond, func() { fired = append(fired, i) })
 	}
-	// Cancelling every even timer forces repeated compactions.
-	for i := 0; i < len(timers); i += 2 {
-		timers[i].Stop()
+	// Cancelling three quarters of the timers exercises unlink across
+	// slots at several levels.
+	for i := 0; i < len(timers); i++ {
+		if i%4 != 3 {
+			timers[i].Stop()
+		}
+	}
+	if got := s.held(); got != n/4 {
+		t.Fatalf("kernel holds %d entries after cancellation, want %d live", got, n/4)
 	}
 	for i, tm := range timers {
-		if got := tm.Active(); got != (i%2 == 1) {
+		if got := tm.Active(); got != (i%4 == 3) {
 			t.Fatalf("timer %d Active = %v after compaction", i, got)
 		}
 	}
 	if timers[2].Stop() {
-		t.Fatal("Stop on a compacted-away timer should report false")
+		t.Fatal("Stop on an already-cancelled timer should report false")
 	}
 	s.Run()
-	if len(fired) != 50 {
-		t.Fatalf("fired %d timers, want 50", len(fired))
+	if len(fired) != n/4 {
+		t.Fatalf("fired %d timers, want %d", len(fired), n/4)
 	}
 	for k, i := range fired {
-		if want := 99 - 2*k; i != want {
+		if want := n - 1 - 4*k; i != want {
 			t.Fatalf("fired[%d] = %d, want %d", k, i, want)
 		}
 	}

@@ -1,0 +1,366 @@
+package simnet
+
+import "math/bits"
+
+// The event queue is a hierarchical timing wheel (Varghese & Lauck),
+// chosen over a binary heap because every kernel operation the
+// simulation hot path performs — schedule, cancel, fire — is amortised
+// O(1) instead of O(log pending):
+//
+//   - Virtual time is quantised into ticks of 2^tickShift ns (65.536 µs).
+//     Level 0 has one slot per tick; each higher level's slots are 256×
+//     coarser, so six levels cover the full time.Duration range.
+//   - An event scheduled delta ticks ahead lives at the lowest level
+//     whose window contains delta, in the slot indexed by its own tick
+//     bits at that granularity. Slots are unordered intrusive singly
+//     linked lists (event.next); per-level occupancy bitmaps make
+//     "next non-empty slot" a handful of word scans.
+//   - Firing drains the earliest non-empty level-0 slot into the due
+//     bucket, sorted by (at, seq) — the same total order the old heap
+//     popped in, which the output goldens depend on. All events of one
+//     tick are dispatched from the bucket without touching the wheel
+//     again, so a burst of same-instant events (ACK clocking, promotion
+//     queue flushes) pays one wheel touch.
+//   - When the earliest work sits in a higher level, the wheel crosses
+//     to that slot's start tick and cascades it: each event is
+//     re-placed relative to the new position, landing at a strictly
+//     lower level. An event cascades at most numLevels-1 times, so the
+//     amortised cost per event stays constant.
+//
+// Two invariants make placement and lookup unambiguous:
+//
+//  1. Every wheel entry's ring distance at its level — its slot count
+//     ahead of the wheel position — stays within [1, 255]. Placement
+//     enforces the upper bound by bumping an event whose distance would
+//     be a full wrap (256) one level up, where its distance becomes 1;
+//     the advance loop preserves the lower bound because the wheel
+//     never moves past an occupied slot's start (see 2). Distinct
+//     blocks therefore always map to distinct slots and a slot index
+//     fully determines its events' tick prefix.
+//  2. Crossing to a tick S (because a higher-level slot starting at S
+//     is due) immediately cascades *every* level's slot for S, highest
+//     level first, and drains the level-0 slot for S itself: those are
+//     exactly the slots whose ring distance would otherwise reach 0 and
+//     become invisible to the scans. The earlier-block check in
+//     fillBucket guarantees a drain target's blocks carry no occupied
+//     higher-level slots, so advancing to it is safe.
+//
+// Slot lists are doubly linked (event.prevp is the address of whichever
+// pointer currently points at the event), so Timer.Stop unlinks and
+// recycles a wheel-resident event in O(1) — cancelled events never
+// accumulate and a schedule-then-cancel workload (per-packet RTO
+// timers) reuses the same handful of event structs forever. Events in
+// the due bucket cannot be unlinked from the middle of a slice; they
+// are marked and reclaimed when their position pops, which bounds them
+// by one tick's batch.
+const (
+	// tickShift trades tie-bucket size against cascade frequency: 65 µs
+	// is far below every protocol timescale in the repo (propagation
+	// delays, RTOs, radio promotions are all ≥ 1 ms), so due buckets
+	// stay small, while level 0 still spans 16.8 ms and level 1 4.3 s,
+	// which keeps common timers within one cascade of their slot.
+	tickShift     = 16
+	levelBits     = 8
+	slotsPerLevel = 1 << levelBits
+	slotMask      = slotsPerLevel - 1
+	wordsPerLevel = slotsPerLevel / 64
+	// numLevels must satisfy tickShift + levelBits*numLevels >= 63 so
+	// the top level's window covers any scheduling horizon.
+	numLevels = 6
+
+	// noTick marks "no candidate" in the advance loop.
+	noTick = int64(^uint64(0) >> 1)
+)
+
+// wheel is the tiered slot store. tick is the wheel's position: every
+// slot at or before it has been drained or cascaded, and the due bucket
+// holds (what remains of) the batch for tick itself.
+type wheel struct {
+	slot [numLevels][slotsPerLevel]*event
+	occ  [numLevels][wordsPerLevel]uint64
+	// count tracks entries per level so the advance loop skips empty
+	// levels without touching their bitmaps.
+	count [numLevels]int
+	tick  int64
+}
+
+// place files a pending event into the due bucket (same tick) or the
+// slot its timestamp selects. Caller guarantees ev.at >= s.now, which
+// with the run loop's bookkeeping implies tick(ev) >= wheel.tick.
+func (s *Sim) place(ev *event) {
+	tick := int64(ev.at) >> tickShift
+	delta := tick - s.wheel.tick
+	if delta <= 0 {
+		// Current tick: the slot for it is already drained, so the event
+		// joins the due bucket at its (at, seq) position.
+		s.dueInsert(ev)
+		return
+	}
+	level := (bits.Len64(uint64(delta)) - 1) / levelBits
+	shift := levelBits * level
+	if (tick>>shift)-(s.wheel.tick>>shift) == slotsPerLevel {
+		// A full-wrap distance would alias the wheel's own position; one
+		// level up the distance becomes exactly 1 (invariant 1).
+		level++
+		shift += levelBits
+	}
+	idx := int(tick>>shift) & slotMask
+	head := s.wheel.slot[level][idx]
+	ev.next = head
+	if head != nil {
+		head.prevp = &ev.next
+	}
+	ev.prevp = &s.wheel.slot[level][idx]
+	ev.lvl = uint8(level)
+	ev.idx = uint8(idx)
+	s.wheel.slot[level][idx] = ev
+	s.wheel.occ[level][idx>>6] |= 1 << (idx & 63)
+	s.wheel.count[level]++
+}
+
+// unlink removes a wheel-resident event from its slot in O(1),
+// clearing the occupancy bit when the slot empties.
+func (s *Sim) unlink(ev *event) {
+	next := ev.next
+	*ev.prevp = next
+	if next != nil {
+		next.prevp = ev.prevp
+	}
+	level, idx := int(ev.lvl), int(ev.idx)
+	if s.wheel.slot[level][idx] == nil {
+		s.wheel.occ[level][idx>>6] &^= 1 << (idx & 63)
+	}
+	s.wheel.count[level]--
+	ev.next = nil
+	ev.prevp = nil
+}
+
+// dueInsert adds ev to the due bucket at its (at, seq) position.
+// During fillBucket the bucket may be transiently unordered (the final
+// sortDue fixes any interim position); for Schedule-time calls the
+// bucket is sorted and the binary search lands exactly.
+func (s *Sim) dueInsert(ev *event) {
+	lo, hi := s.dueHead, len(s.due)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		e := s.due[mid]
+		if e.at < ev.at || (e.at == ev.at && e.seq < ev.seq) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	ev.prevp = nil
+	s.due = append(s.due, nil)
+	copy(s.due[lo+1:], s.due[lo:])
+	s.due[lo] = ev
+}
+
+// takeSlot detaches and returns a slot's list, clearing its occupancy.
+// The callers re-home every event immediately (place, due bucket), so
+// stale prevp pointers in the detached list are never observable.
+func (s *Sim) takeSlot(level, idx int) *event {
+	head := s.wheel.slot[level][idx]
+	s.wheel.slot[level][idx] = nil
+	s.wheel.occ[level][idx>>6] &^= 1 << (idx & 63)
+	return head
+}
+
+// occupied reports whether a slot holds any entries.
+func (s *Sim) occupied(level, idx int) bool {
+	return s.wheel.occ[level][idx>>6]&(1<<(idx&63)) != 0
+}
+
+// reclaim returns a cancelled event found in the due bucket to the
+// free list.
+func (s *Sim) reclaim(ev *event) {
+	s.cancelled--
+	s.recycle(ev)
+}
+
+// scan returns the ring distance (1..255) from pos to the first
+// occupied slot at level, or -1 if none: by invariant 1 no live entry
+// sits at distance 0 or 256, so the position's own bit is never valid.
+func (s *Sim) scan(level, pos int) int {
+	if s.wheel.count[level] == 0 {
+		return -1
+	}
+	occ := &s.wheel.occ[level]
+	for b := pos + 1; b < slotsPerLevel; {
+		if w := occ[b>>6] >> (b & 63); w != 0 {
+			return b + bits.TrailingZeros64(w) - pos
+		}
+		b = (b>>6 + 1) << 6
+	}
+	for b := 0; b < pos; b = (b>>6 + 1) << 6 {
+		if w := occ[b>>6]; w != 0 {
+			r := b + bits.TrailingZeros64(w)
+			if r < pos {
+				return r + slotsPerLevel - pos
+			}
+			break // the set bit is at or past pos: covered above / invalid
+		}
+	}
+	return -1
+}
+
+// nextLevel0 finds the earliest occupied level-0 slot: its absolute
+// tick and slot index, or noTick.
+func (s *Sim) nextLevel0() (int64, int) {
+	pos := int(s.wheel.tick) & slotMask
+	d := s.scan(0, pos)
+	if d < 0 {
+		return noTick, 0
+	}
+	return s.wheel.tick + int64(d), (pos + d) & slotMask
+}
+
+// nextHigher finds the earliest start tick over all higher-level
+// occupied slots, or noTick.
+func (s *Sim) nextHigher() int64 {
+	best := noTick
+	for level := 1; level < numLevels; level++ {
+		shift := uint(levelBits * level)
+		pos := int(s.wheel.tick>>shift) & slotMask
+		d := s.scan(level, pos)
+		if d < 0 {
+			continue
+		}
+		start := ((s.wheel.tick >> shift) + int64(d)) << shift
+		if start < best {
+			best = start
+		}
+	}
+	return best
+}
+
+// crossTo advances the wheel to tick start — the start of at least one
+// occupied higher-level slot — and empties every slot whose ring
+// distance just reached 0 (invariant 2): each level's slot for start is
+// cascaded from the highest level down (re-placed events land strictly
+// lower, or in the due bucket when they belong to start itself), and
+// the level-0 slot for start drains into the due bucket directly.
+func (s *Sim) crossTo(start int64) {
+	s.wheel.tick = start
+	for level := numLevels - 1; level >= 1; level-- {
+		idx := int(start>>(levelBits*level)) & slotMask
+		if !s.occupied(level, idx) {
+			continue
+		}
+		for ev := s.takeSlot(level, idx); ev != nil; {
+			next := ev.next
+			ev.next = nil
+			s.wheel.count[level]--
+			s.place(ev)
+			ev = next
+		}
+	}
+	idx := int(start) & slotMask
+	if s.occupied(0, idx) {
+		s.drainSlot0(idx)
+	}
+}
+
+// drainSlot0 appends a level-0 slot's events to the due bucket
+// (unsorted; fillBucket sorts before dispatch).
+func (s *Sim) drainSlot0(idx int) {
+	for ev := s.takeSlot(0, idx); ev != nil; {
+		next := ev.next
+		ev.next = nil
+		ev.prevp = nil
+		s.wheel.count[0]--
+		s.due = append(s.due, ev)
+		ev = next
+	}
+}
+
+// fillBucket advances the wheel until the due bucket holds the next
+// batch of live events, ignoring candidates past untilTick. It reports
+// whether the bucket has events to dispatch.
+func (s *Sim) fillBucket(untilTick int64) bool {
+	if s.dueHead < len(s.due) {
+		return true
+	}
+	for {
+		t0, idx0 := s.nextLevel0()
+		tHi := s.nextHigher()
+		next := t0
+		if tHi < next {
+			next = tHi
+		}
+		if s.dueHead < len(s.due) && next > s.wheel.tick {
+			// Crossings filled the bucket for the current tick and no slot
+			// can still contribute to it.
+			s.sortDue()
+			return true
+		}
+		if next == noTick || next > untilTick {
+			return false
+		}
+		if tHi <= t0 {
+			// A coarse slot starts at or before the level-0 candidate: its
+			// events may precede t0, so the wheel must cross there first.
+			s.crossTo(tHi)
+			continue
+		}
+		s.wheel.tick = t0
+		s.drainSlot0(idx0)
+		s.sortDue()
+		return true
+	}
+}
+
+// sortDue orders the due bucket by (at, seq). Slot lists are unordered,
+// so this runs once per filled bucket; a freshly drained bucket is the
+// whole slice (dueHead is 0).
+func (s *Sim) sortDue() {
+	due := s.due[s.dueHead:]
+	// Insertion sort: due buckets are one tick (65 µs) of events, which
+	// protocol workloads keep small; the branch below guards the
+	// pathological burst.
+	if len(due) <= 24 {
+		for i := 1; i < len(due); i++ {
+			ev := due[i]
+			j := i - 1
+			for j >= 0 && (due[j].at > ev.at || (due[j].at == ev.at && due[j].seq > ev.seq)) {
+				due[j+1] = due[j]
+				j--
+			}
+			due[j+1] = ev
+		}
+		return
+	}
+	heapSortDue(due)
+}
+
+// heapSortDue is the allocation-free large-bucket fallback.
+func heapSortDue(due []*event) {
+	for i := len(due)/2 - 1; i >= 0; i-- {
+		siftDue(due, i, len(due))
+	}
+	for n := len(due) - 1; n > 0; n-- {
+		due[0], due[n] = due[n], due[0]
+		siftDue(due, 0, n)
+	}
+}
+
+func siftDue(due []*event, i, n int) {
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		if r := l + 1; r < n && evLess(due[l], due[r]) {
+			l = r
+		}
+		if !evLess(due[i], due[l]) {
+			return
+		}
+		due[i], due[l] = due[l], due[i]
+		i = l
+	}
+}
+
+func evLess(a, b *event) bool {
+	return a.at < b.at || (a.at == b.at && a.seq < b.seq)
+}

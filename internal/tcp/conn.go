@@ -134,23 +134,32 @@ type Conn struct {
 	cb Callbacks
 
 	// Sender state.
-	src       Source
-	synOpt    any
-	byteSrc   *byteSource // non-nil when using the default source
-	sndUna    uint64
-	sndNxt    uint64
-	cwnd      float64 // bytes
-	ssthresh  float64 // bytes
-	increase  IncreaseFn
-	rtxq      []rtxEntry
-	dupAcks   int
-	inRecov   bool
-	recover   uint64
-	peerWnd   int
-	finQueued bool // send FIN once the source drains
-	finSent   bool
-	finSeq    uint64
-	finAcked  bool
+	src      Source
+	synOpt   any
+	byteSrc  *byteSource // non-nil when using the default source
+	sndUna   uint64
+	sndNxt   uint64
+	cwnd     float64 // bytes
+	ssthresh float64 // bytes
+	increase IncreaseFn
+	rtxq     []rtxEntry
+	dupAcks  int
+	// hiSacked is the monotone high-water mark of SACKed SeqEnds. It is
+	// equivalent to rescanning the scoreboard (cumulative ACKs only ever
+	// remove entries at or below sndUna, and every live entry ends above
+	// it), and it makes the no-SACK fast path of detectLoss O(1).
+	hiSacked uint64
+	// lostPending counts scoreboard entries that are lost, unsacked and
+	// not yet retransmitted — the set nextLost scans for — so the send
+	// loop skips the scan entirely outside recovery.
+	lostPending int
+	inRecov     bool
+	recover     uint64
+	peerWnd     int
+	finQueued   bool // send FIN once the source drains
+	finSent     bool
+	finSeq      uint64
+	finAcked    bool
 
 	// RTT estimation (RFC 6298).
 	srtt     time.Duration
@@ -482,6 +491,7 @@ func (c *Conn) trySend() {
 		if e := c.nextLost(); e != nil {
 			e.rtxed = true
 			e.sentAt = c.sim.Now()
+			c.lostPending--
 			c.Retransmits++
 			c.retransmit(e)
 			pipe += e.seg.PayloadLen
@@ -523,8 +533,12 @@ func (c *Conn) trySend() {
 }
 
 // nextLost returns the earliest lost entry whose retransmission has not
-// been sent yet, or nil.
+// been sent yet, or nil. Outside recovery lostPending is zero and the
+// scan is skipped.
 func (c *Conn) nextLost() *rtxEntry {
+	if c.lostPending == 0 {
+		return nil
+	}
 	for i := range c.rtxq {
 		e := &c.rtxq[i]
 		if e.lost && !e.rtxed && !e.sacked {
@@ -618,6 +632,12 @@ func (c *Conn) applySack(blocks []SackBlock) {
 		for _, b := range blocks {
 			if e.seg.Seq >= b.Lo && e.seg.SeqEnd() <= b.Hi {
 				e.sacked = true
+				if end := e.seg.SeqEnd(); end > c.hiSacked {
+					c.hiSacked = end
+				}
+				if e.lost && !e.rtxed {
+					c.lostPending--
+				}
 				break
 			}
 		}
@@ -626,13 +646,12 @@ func (c *Conn) applySack(blocks []SackBlock) {
 
 // detectLoss applies the RFC 6675 loss rule (a hole with >= 3*MSS of
 // SACKed data above it is lost) plus the classic three-dupACK rule for
-// the first unacked segment, and enters recovery on fresh loss.
+// the first unacked segment, and enters recovery on fresh loss. A clean
+// flow (no SACK evidence, no dupACK run) exits without touching the
+// scoreboard.
 func (c *Conn) detectLoss() {
-	var hiSacked uint64
-	for i := range c.rtxq {
-		if e := &c.rtxq[i]; e.sacked && e.seg.SeqEnd() > hiSacked {
-			hiSacked = e.seg.SeqEnd()
-		}
+	if c.hiSacked == 0 && c.dupAcks < 3 {
+		return // no rule can mark anything lost
 	}
 	newLoss := false
 	for i := range c.rtxq {
@@ -640,13 +659,16 @@ func (c *Conn) detectLoss() {
 		if e.sacked || e.lost {
 			continue
 		}
-		byRule := hiSacked > 0 && e.seg.SeqEnd()+3*MSS <= hiSacked
+		byRule := c.hiSacked > 0 && e.seg.SeqEnd()+3*MSS <= c.hiSacked
 		// After a tail loss probe, any hole below the highest SACK is
 		// lost (TLP early retransmit: the probe proved the path works).
-		byProbe := c.probeFired && hiSacked > 0 && e.seg.SeqEnd() <= hiSacked
+		byProbe := c.probeFired && c.hiSacked > 0 && e.seg.SeqEnd() <= c.hiSacked
 		byDup := c.dupAcks >= 3 && e.seg.Seq == c.sndUna
 		if byRule || byProbe || byDup {
 			e.lost = true
+			if !e.rtxed {
+				c.lostPending++
+			}
 			newLoss = true
 		}
 	}
@@ -846,6 +868,9 @@ func (c *Conn) ackRtxQueue(ack uint64) {
 		if e.seg.SeqEnd() > ack {
 			break
 		}
+		if e.lost && !e.rtxed && !e.sacked {
+			c.lostPending--
+		}
 		if !e.rtxed && e.sentAt > sampleAt {
 			sampleAt = e.sentAt
 		}
@@ -949,6 +974,11 @@ func (c *Conn) retransmit(e *rtxEntry) {
 func connOnRTO(a any)   { a.(*Conn).onRTO() }
 func connOnProbe(a any) { a.(*Conn).onProbe() }
 
+// armRTO (re)arms the retransmission timer from now. The cancel+arm
+// pair runs on every cumulative ACK; both halves are O(1) on the
+// timing-wheel kernel (Stop unlinks the event and recycles it for the
+// immediately following schedule), so the per-ACK timer churn costs a
+// few pointer writes and no allocation.
 func (c *Conn) armRTO() {
 	c.cancelRTO()
 	c.rtoTimer = c.sim.AfterArg(c.rto, connOnRTO, c)
@@ -1002,6 +1032,9 @@ func (c *Conn) onProbe() {
 			break
 		}
 	}
+	if e.lost && !e.rtxed && !e.sacked {
+		c.lostPending--
+	}
 	e.rtxed = true
 	e.sentAt = c.sim.Now()
 	c.Retransmits++
@@ -1047,16 +1080,21 @@ func (c *Conn) onRTO() {
 	if c.rto > MaxRTO {
 		c.rto = MaxRTO
 	}
+	c.lostPending = 0
 	for i := range c.rtxq {
 		e := &c.rtxq[i]
 		if !e.sacked {
 			e.lost = true
 			e.rtxed = false
+			c.lostPending++
 		}
 	}
 	// Retransmit the head immediately (trySend would also do it, but
 	// zero-payload SYN/FIN entries bypass the pipe budget there).
 	e := &c.rtxq[0]
+	if e.lost && !e.rtxed && !e.sacked {
+		c.lostPending--
+	}
 	e.rtxed = true
 	e.sentAt = c.sim.Now()
 	c.Retransmits++
