@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	report [-seed N] [-quick] [-par N] [-only name[,name...]] [-json] [-list]
+//	report [-seed N] [-quick] [-par N] [-only name[,name...]] [-json] [-list] [-fluid]
 //
 // -quick runs the reduced test-sized sweeps (useful to smoke-test the
 // pipeline; the recorded numbers in EXPERIMENTS.md use the full runs).
@@ -26,6 +26,7 @@ import (
 	"os"
 	"time"
 
+	"multinet/internal/core"
 	"multinet/internal/experiments" // importing registers every harness
 	"multinet/internal/experiments/engine"
 )
@@ -60,7 +61,13 @@ func main() {
 	only := flag.String("only", "", "comma-separated experiment names to run (default: all)")
 	asJSON := flag.Bool("json", false, "emit results as JSON on stdout")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	fluid := flag.Bool("fluid", false,
+		"hybrid fluid/packet execution: advance steady TCP flows analytically")
 	flag.Parse()
+
+	if *fluid {
+		core.SetFluidDefault(true)
+	}
 
 	if *list {
 		banner := scenarioBanner()

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"multinet/internal/core"
+	"multinet/internal/mptcp"
+	"multinet/internal/netem"
+	"multinet/internal/phy"
+)
+
+// Fluid-mode smoke: a representative subset of measurement cells runs
+// under core.SetFluidDefault(true) and is checked against packet-mode
+// output. Where sessions cannot engage (lossy or variable-rate links,
+// MPTCP subflows) the runs must be bit-identical; where they do engage
+// the goodput must stay within tolerance, with the divergence confined
+// to queue-overflow episodes that straddle a regime switch.
+
+// fluidCleanCond is a condition fluid sessions can engage on: constant
+// rates, zero loss, the paper's asymmetric buffer depths.
+func fluidCleanCond() phy.Condition {
+	return phy.NewCondition("fluid-clean",
+		phy.Path{Name: "wifi", Profile: phy.PathProfile{
+			DownMbps: 20, UpMbps: 8, RTTms: 30, QueuePkts: 100}},
+		phy.Path{Name: "lte", Profile: phy.PathProfile{
+			DownMbps: 10, UpMbps: 4, RTTms: 60, QueuePkts: 300}},
+	)
+}
+
+// runFluidCell measures one cell twice from identical seeds — packet
+// mode, then fluid mode — and reports both results plus the number of
+// segments the fluid run elided.
+func runFluidCell(t *testing.T, cond phy.Condition, cfg core.Config,
+	dir core.Direction, size int) (pkt, fld core.Result, elided int64) {
+	t.Helper()
+	prev := core.SetFluidDefault(false)
+	defer core.SetFluidDefault(prev)
+	pkt = core.NewSession(DefaultSeed, cond).Run(cfg, dir, size)
+	core.SetFluidDefault(true)
+	s := core.NewSession(DefaultSeed, cond)
+	fld = s.Run(cfg, dir, size)
+	for _, ifc := range s.Host.Ifaces() {
+		for _, l := range []netem.Link{ifc.UpLink(), ifc.DownLink()} {
+			if fl, ok := l.(*netem.FixedLink); ok {
+				elided += int64(fl.Stats().Elided)
+			}
+		}
+	}
+	if !pkt.Completed || !fld.Completed {
+		t.Fatalf("cell %s/%v/%d incomplete: packet %v, fluid %v",
+			cond.Name, dir, size, pkt.Completed, fld.Completed)
+	}
+	return pkt, fld, elided
+}
+
+func TestFluidSmokeEngaged(t *testing.T) {
+	cond := fluidCleanCond()
+	cells := []struct {
+		cfg  core.Config
+		dir  core.Direction
+		size int
+	}{
+		{core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, 2 << 20},
+		{core.Config{Transport: core.TCP, Iface: "lte"}, core.Download, 1 << 20},
+		{core.Config{Transport: core.TCP, Iface: "wifi"}, core.Upload, 512 << 10},
+	}
+	for _, c := range cells {
+		pkt, fld, elided := runFluidCell(t, cond, c.cfg, c.dir, c.size)
+		if elided == 0 {
+			t.Errorf("%s/%v/%d: no segments elided — fluid mode never engaged",
+				c.cfg.Name(), c.dir, c.size)
+		}
+		if r := fld.Mbps / pkt.Mbps; math.Abs(r-1) > 0.10 {
+			t.Errorf("%s/%v/%d: fluid goodput %.3f Mbit/s vs packet %.3f (ratio %.3f)",
+				c.cfg.Name(), c.dir, c.size, fld.Mbps, pkt.Mbps, r)
+		}
+	}
+}
+
+func TestFluidSmokeIneligibleExact(t *testing.T) {
+	// Lossy, variable-rate paths (every paper location) never admit a
+	// session; MPTCP subflows carry per-segment options and are always
+	// ineligible. Fluid mode must then be a bit-identical no-op.
+	cells := []struct {
+		cond phy.Condition
+		cfg  core.Config
+		dir  core.Direction
+		size int
+	}{
+		{phy.Locations[0].Condition(),
+			core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, 1 << 20},
+		{fluidCleanCond(),
+			core.Config{Transport: core.MPTCP, Primary: "wifi", CC: mptcp.Coupled},
+			core.Download, 1 << 20},
+	}
+	for _, c := range cells {
+		pkt, fld, _ := runFluidCell(t, c.cond, c.cfg, c.dir, c.size)
+		if pkt.FCT != fld.FCT {
+			t.Errorf("%s on %s: fluid FCT %v differs from packet %v on an ineligible cell",
+				c.cfg.Name(), c.cond.Name, fld.FCT, pkt.FCT)
+		}
+	}
+}

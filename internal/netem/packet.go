@@ -123,6 +123,10 @@ type LinkStats struct {
 	DroppedDown  int // discards while the link was down or blackholed
 	BytesIn      int64
 	BytesOut     int64
+	// Elided counts packets carried analytically by fluid-advance mode
+	// (see FixedLink.FluidAdmit): they are included in Sent/Delivered but
+	// never existed as simulator events.
+	Elided int
 }
 
 // Link is a one-way packet carrier.
