@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TestingT is the subset of *testing.T the golden runner needs.
+type TestingT interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// sharedLoader serves every golden run in a process: the source
+// importer memoises dependency type-checking, so the second analyzer's
+// testdata loads in milliseconds.
+var (
+	loaderOnce   sync.Once
+	sharedLoader *Loader
+)
+
+// TestLoader returns the process-wide shared loader.
+func TestLoader() *Loader {
+	loaderOnce.Do(func() { sharedLoader = NewLoader() })
+	return sharedLoader
+}
+
+// wantRe matches `// want "..." `...“ expectation comments in golden
+// packages, analysistest-style: each quoted string is a regexp that
+// must match exactly one diagnostic reported on that line.
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// RunGolden loads the golden package in dir and checks the analyzer's
+// diagnostics against its `// want "regexp"` comments: every
+// expectation must be matched by a diagnostic on its line, every
+// unsuppressed diagnostic must be expected, and //lint:allow-suppressed
+// findings must NOT surface (which is how the golden packages prove
+// that deleting an allow annotation flips the suite to failing).
+func RunGolden(t TestingT, dir string, a *Analyzer) {
+	t.Helper()
+	pkg, err := TestLoader().LoadDir(dir, "multinet/lint/"+strings.ReplaceAll(dir, "/", "_"))
+	if err != nil {
+		t.Fatalf("loading golden package %s: %v", dir, err)
+	}
+	// Golden packages opt in unconditionally: the driver-level package
+	// filter (Match) is scoping policy, not analyzer semantics.
+	unscoped := *a
+	unscoped.Match = nil
+	diags, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{&unscoped})
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+
+	type want struct {
+		file string
+		line int
+		re   *regexp.Regexp
+		hit  bool
+	}
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pat := range splitWantPatterns(m[1]) {
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		if d.Suppressed {
+			continue
+		}
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s:%d: unexpected %s diagnostic: %s", d.File, d.Line, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// splitWantPatterns parses the space-separated quoted/backquoted
+// regexps after `// want`.
+func splitWantPatterns(s string) []string {
+	var pats []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"', '`':
+			prefix, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return append(pats, fmt.Sprintf("\x00unparseable want: %s", s))
+			}
+			unq, _ := strconv.Unquote(prefix)
+			pats = append(pats, unq)
+			s = strings.TrimSpace(s[len(prefix):])
+		default:
+			return append(pats, fmt.Sprintf("\x00unparseable want: %s", s))
+		}
+	}
+	return pats
+}
+
+// CountMarker returns how many indexed comments contain the given
+// marker — used by tests asserting the repo actually carries
+// annotations (so a sweeping deletion cannot silently disable checks).
+func (ci *CommentIndex) CountMarker(marker string) int {
+	n := 0
+	for _, lines := range ci.byFile {
+		for _, texts := range lines {
+			for _, text := range texts {
+				if strings.Contains(text, marker) {
+					n++
+				}
+			}
+		}
+	}
+	return n
+}

@@ -1,0 +1,7 @@
+package analysis
+
+import "testing"
+
+func TestHotPathGolden(t *testing.T) {
+	RunGolden(t, "testdata/hotpath", HotPath)
+}

@@ -1,0 +1,468 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// pooledType names one pool-recycled type by defining package and type
+// name. Values of these types have single-owner lifecycles: exactly one
+// release per acquisition, no touching after release, and any pointer
+// stored into longer-lived structure is an ownership transfer that must
+// be marked //multinet:owns.
+type pooledType struct{ path, name string }
+
+var pooledTypes = []pooledType{
+	{"multinet/internal/netem", "Packet"},
+	{"multinet/internal/tcp", "Segment"},
+	{"multinet/internal/simnet", "event"},
+}
+
+// releaseFunc describes a call that releases one of its arguments back
+// to a pool: a package-level function (recvType == "") or a method.
+type releaseFunc struct {
+	path     string // defining package import path
+	recvType string // receiver type name for methods
+	name     string
+	arg      int // index of the released argument; -1 means the receiver
+}
+
+var releaseFuncs = []releaseFunc{
+	{path: "multinet/internal/netem", name: "ReleasePacket", arg: 0},
+	{path: "multinet/internal/netem", name: "dropPacket", arg: 0},
+	{path: "multinet/internal/tcp", recvType: "Segment", name: "Recycle", arg: -1},
+	{path: "multinet/internal/simnet", recvType: "Sim", name: "recycle", arg: 0},
+	// RecycleOpt is the tcp.RecyclableOpt interface method: any
+	// implementation or interface call releases the receiver.
+	{path: "", recvType: "", name: "RecycleOpt", arg: -1},
+}
+
+// PoolOwn enforces PR 4's single-owner recycling discipline on pooled
+// packets, segments, and simulator events: no double release, no use
+// after release along straight-line/branch paths, and no pooled
+// pointer escaping into a struct field or slice without an explicit
+// //multinet:owns ownership-transfer marker.
+var PoolOwn = &Analyzer{
+	Name: "poolown",
+	Doc: "detect double-release, use-after-release, and unmarked escapes " +
+		"of pooled values (netem.Packet, tcp.Segment, simnet events)",
+	Run: runPoolOwn,
+}
+
+func runPoolOwn(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkOwnership(pass, n.Body)
+				}
+				return true
+			case *ast.AssignStmt:
+				checkEscapeAssign(pass, n)
+			case *ast.CallExpr:
+				checkEscapeAppend(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// ---- release-site resolution ----------------------------------------
+
+// releaseTarget returns the expression whose value call releases, or
+// nil when call is not a pool release.
+func releaseTarget(info *types.Info, call *ast.CallExpr) ast.Expr {
+	fn := typesFunc(info, call.Fun)
+	if fn == nil {
+		return nil
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	for _, rf := range releaseFuncs {
+		if fn.Name() != rf.name {
+			continue
+		}
+		if rf.recvType == "" && rf.path != "" {
+			// Package-level function.
+			if sig != nil && sig.Recv() == nil && funcPkgPath(fn) == rf.path && rf.arg < len(call.Args) {
+				return call.Args[rf.arg]
+			}
+			continue
+		}
+		// Method (or, for RecycleOpt, any method of that name).
+		if sig == nil || sig.Recv() == nil {
+			continue
+		}
+		if rf.recvType != "" {
+			if funcPkgPath(fn) != rf.path || namedTypeName(sig.Recv().Type()) != rf.recvType {
+				continue
+			}
+		}
+		if rf.arg == -1 {
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				return sel.X
+			}
+			return nil
+		}
+		if rf.arg < len(call.Args) {
+			return call.Args[rf.arg]
+		}
+	}
+	return nil
+}
+
+// namedTypeName unwraps pointers and returns the named type's name.
+func namedTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// isPooledPointer reports whether t is a pointer to one of the pooled
+// types.
+func isPooledPointer(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	for _, pt := range pooledTypes {
+		if n.Obj().Name() == pt.name && n.Obj().Pkg().Path() == pt.path {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- double-release / use-after-release -----------------------------
+
+// released maps a variable to the position of the release that killed
+// it.
+type released map[*types.Var]token.Pos
+
+func (r released) clone() released {
+	c := make(released, len(r))
+	for k, v := range r {
+		c[k] = v
+	}
+	return c
+}
+
+// checkOwnership walks one function body tracking release state along
+// straight-line code, forking (without re-joining) at branches — a
+// deliberately conservative path model: anything it reports is a real
+// sequence of statements that releases twice or touches a dead value.
+func checkOwnership(pass *Pass, body *ast.BlockStmt) {
+	walkOwnBlock(pass, body.List, released{})
+}
+
+func walkOwnBlock(pass *Pass, stmts []ast.Stmt, st released) {
+	for _, s := range stmts {
+		walkOwnStmt(pass, s, st)
+	}
+}
+
+func walkOwnStmt(pass *Pass, s ast.Stmt, st released) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		walkOwnBlock(pass, s.List, st)
+		return
+	case *ast.IfStmt:
+		if s.Init != nil {
+			applyOwnStmt(pass, s.Init, st)
+		}
+		checkUses(pass, s.Cond, st, nil)
+		walkOwnBlock(pass, s.Body.List, st.clone())
+		if s.Else != nil {
+			walkOwnStmt(pass, s.Else, st.clone())
+		}
+		return
+	case *ast.ForStmt:
+		walkOwnBlock(pass, s.Body.List, st.clone())
+		return
+	case *ast.RangeStmt:
+		checkUses(pass, s.X, st, nil)
+		walkOwnBlock(pass, s.Body.List, st.clone())
+		return
+	case *ast.SwitchStmt:
+		ownClauses(pass, s.Body, st)
+		return
+	case *ast.TypeSwitchStmt:
+		ownClauses(pass, s.Body, st)
+		return
+	case *ast.SelectStmt:
+		ownClauses(pass, s.Body, st)
+		return
+	case *ast.LabeledStmt:
+		walkOwnStmt(pass, s.Stmt, st)
+		return
+	case *ast.DeferStmt:
+		// A deferred release happens at function exit, after every
+		// remaining statement: it neither kills the value for the code
+		// below nor counts as a straight-line double release here.
+		return
+	}
+	applyOwnStmt(pass, s, st)
+}
+
+func ownClauses(pass *Pass, body *ast.BlockStmt, st released) {
+	if body == nil {
+		return
+	}
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			walkOwnBlock(pass, c.Body, st.clone())
+		case *ast.CommClause:
+			walkOwnBlock(pass, c.Body, st.clone())
+		}
+	}
+}
+
+// applyOwnStmt processes one simple (non-branching) statement: report
+// uses of dead values, then apply this statement's releases and
+// reassignments to the state.
+func applyOwnStmt(pass *Pass, s ast.Stmt, st released) {
+	// Releases performed by this statement, and the idents naming the
+	// released value inside the release call itself (excluded from the
+	// use check — ReleasePacket(p) is not a use-after-release of p).
+	type rel struct {
+		v   *types.Var
+		pos token.Pos
+	}
+	var rels []rel
+	excluded := map[*ast.Ident]bool{}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // closure bodies run later; analyzed as their own scope elsewhere
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		target := releaseTarget(pass.TypesInfo, call)
+		if target == nil {
+			return true
+		}
+		if id, ok := ast.Unparen(target).(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+				rels = append(rels, rel{v, call.Pos()})
+				excluded[id] = true
+			}
+		}
+		return true
+	})
+
+	// Reassignment resurrects a variable for the code below.
+	var reassigned []*types.Var
+	if as, ok := s.(*ast.AssignStmt); ok {
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+				if v, ok := pass.TypesInfo.ObjectOf(id).(*types.Var); ok {
+					reassigned = append(reassigned, v)
+					excluded[id] = true
+				}
+			}
+		}
+	}
+
+	checkUses(pass, s, st, excluded)
+
+	for _, r := range rels {
+		if prev, dead := st[r.v]; dead {
+			pass.Reportf(r.pos, "%s released twice: already released at %s", r.v.Name(), pass.Fset.Position(prev))
+		} else {
+			st[r.v] = r.pos
+		}
+	}
+	for _, v := range reassigned {
+		delete(st, v)
+	}
+}
+
+// checkUses reports identifiers referring to released variables inside
+// n, skipping the excluded idents and closure bodies.
+func checkUses(pass *Pass, n ast.Node, st released, excluded map[*ast.Ident]bool) {
+	if n == nil || len(st) == 0 {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || excluded[id] {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if pos, dead := st[v]; dead {
+			pass.Reportf(id.Pos(), "use of %s after release at %s: the pool may have handed it to another owner", id.Name, pass.Fset.Position(pos))
+		}
+		return true
+	})
+}
+
+// ---- escape tracking ------------------------------------------------
+
+// checkEscapeAssign flags pooled pointers stored into struct fields,
+// slice/map elements, or package-level variables without an ownership
+// marker.
+func checkEscapeAssign(pass *Pass, as *ast.AssignStmt) {
+	n := len(as.Lhs)
+	if len(as.Rhs) != n {
+		return // tuple assignment from a call never yields pooled pointers directly
+	}
+	for i := 0; i < n; i++ {
+		rhsT, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		if !ok || !isPooledPointer(rhsT.Type) {
+			continue
+		}
+		lhs := ast.Unparen(as.Lhs[i])
+		switch l := lhs.(type) {
+		case *ast.SelectorExpr:
+			if !pass.ownsAllowed(l, as.Pos()) {
+				pass.Reportf(as.Pos(), "pooled %s escapes into field %s without a //multinet:owns ownership-transfer marker", typeShort(rhsT.Type), exprText(l))
+			}
+		case *ast.IndexExpr:
+			// A store whose value comes from the same container is a
+			// permutation (sort swaps, compaction shifts), not a new
+			// ownership edge.
+			if sameContainer(pass.TypesInfo, l, as.Rhs[i]) {
+				continue
+			}
+			if !pass.ownsAllowedIndex(l, as.Pos()) {
+				pass.Reportf(as.Pos(), "pooled %s escapes into element of %s without a //multinet:owns ownership-transfer marker", typeShort(rhsT.Type), exprText(l.X))
+			}
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.ObjectOf(l).(*types.Var); ok && v.Parent() == pass.Pkg.Scope() {
+				if !pass.OwnsMarkedAt(as.Pos()) && !pass.OwnsMarkedAt(v.Pos()) {
+					pass.Reportf(as.Pos(), "pooled %s escapes into package-level variable %s without a //multinet:owns ownership-transfer marker", typeShort(rhsT.Type), l.Name)
+				}
+			}
+		}
+	}
+}
+
+// checkEscapeAppend flags append(xs, p) where p is a pooled pointer.
+func checkEscapeAppend(pass *Pass, call *ast.CallExpr) {
+	if !isBuiltin(pass.TypesInfo, call.Fun, "append") || len(call.Args) < 2 {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isPooledPointer(tv.Type) {
+			continue
+		}
+		if pass.OwnsMarkedAt(call.Pos()) {
+			continue
+		}
+		if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok && pass.ownsAllowed(sel, call.Pos()) {
+			continue
+		}
+		pass.Reportf(call.Pos(), "pooled %s appended to %s without a //multinet:owns ownership-transfer marker", typeShort(tv.Type), exprText(call.Args[0]))
+	}
+}
+
+// ownsAllowed reports whether storing through sel is covered by a
+// marker: on the assignment line itself, or on the declaration of the
+// field being assigned (resolved positionally, so markers on fields of
+// other loaded packages work too).
+func (p *Pass) ownsAllowed(sel *ast.SelectorExpr, sitePos token.Pos) bool {
+	if p.OwnsMarkedAt(sitePos) {
+		return true
+	}
+	if s, ok := p.TypesInfo.Selections[sel]; ok {
+		return p.OwnsMarkedAt(s.Obj().Pos())
+	}
+	if obj := p.TypesInfo.ObjectOf(sel.Sel); obj != nil {
+		return p.OwnsMarkedAt(obj.Pos())
+	}
+	return false
+}
+
+// ownsAllowedIndex covers xs[i] = p (and nested forms like
+// s.wheel.slot[level][idx] = p): the marker may sit on the line or on
+// the declaration of the slice/array/map ultimately being indexed —
+// a field or a variable.
+func (p *Pass) ownsAllowedIndex(ix *ast.IndexExpr, sitePos token.Pos) bool {
+	if p.OwnsMarkedAt(sitePos) {
+		return true
+	}
+	x := ast.Unparen(ix.X)
+	for {
+		inner, ok := x.(*ast.IndexExpr)
+		if !ok {
+			break
+		}
+		x = ast.Unparen(inner.X)
+	}
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		return p.ownsAllowed(x, sitePos)
+	case *ast.Ident:
+		if obj := p.TypesInfo.ObjectOf(x); obj != nil {
+			return p.OwnsMarkedAt(obj.Pos())
+		}
+	}
+	return false
+}
+
+// sameContainer reports whether lhs (an index expression) and rhs name
+// the same root object, i.e. the assignment permutes elements of one
+// container rather than transferring ownership into it.
+func sameContainer(info *types.Info, lhs *ast.IndexExpr, rhs ast.Expr) bool {
+	rix, ok := ast.Unparen(rhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	lroot, rroot := rootObject(info, lhs.X), rootObject(info, rix.X)
+	return lroot != nil && lroot == rroot
+}
+
+// rootObject resolves the leftmost identifier of a selector/index
+// chain to its object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return info.ObjectOf(x)
+		case *ast.SelectorExpr:
+			// Resolve the full selection (s.due) rather than the root
+			// (s): two different fields of one struct are different
+			// containers.
+			return info.ObjectOf(x.Sel)
+		case *ast.IndexExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// typeShort renders *pkg.Type as pkg.Type for messages.
+func typeShort(t types.Type) string {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return t.String()
+	}
+	n, ok := p.Elem().(*types.Named)
+	if !ok {
+		return t.String()
+	}
+	if n.Obj().Pkg() != nil {
+		return "*" + n.Obj().Pkg().Name() + "." + n.Obj().Name()
+	}
+	return "*" + n.Obj().Name()
+}

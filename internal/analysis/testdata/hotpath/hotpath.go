@@ -1,0 +1,53 @@
+// Package hottest is the hotpath analyzer's golden package. Functions
+// carrying the //multinet:hotpath pragma must stay allocation-free:
+// closures, fmt, map allocation, escaping appends, and boxing
+// interface conversions are flagged; pointer-shaped and constant
+// conversions, local appends, and unannotated functions stay silent.
+package hottest
+
+import "fmt"
+
+type ring struct {
+	buf []int
+}
+
+//multinet:hotpath
+func hotAlloc(r *ring, n int, emit func(any)) {
+	f := func() int { return n } // want `closure allocated`
+	_ = f
+	_ = fmt.Sprint(n)      // want `fmt\.Sprint call` `boxes int`
+	m := map[int]int{n: n} // want `map literal`
+	_ = m
+	mm := make(map[int]int) // want `map allocated with make`
+	_ = mm
+	r.buf = append(r.buf, n) // want `append to escaping slice`
+	emit(n)                  // want `boxes int`
+}
+
+//multinet:hotpath
+func hotShapes(n int, emit func(any)) {
+	emit(&n)      // pointer-shaped values fit the iface word
+	emit("label") // constants box to static data, not the heap
+	emit(nil)
+	var a any
+	a = n // want `boxes int`
+	_ = a
+	x := any(n) // want `boxes int`
+	_ = x
+}
+
+//multinet:hotpath
+func hotLocal(n int) int {
+	xs := make([]int, 0, 8)
+	xs = append(xs, n) // append through a local stays in the caller's control
+	return len(xs)
+}
+
+//multinet:hotpath
+func hotAllowed(r *ring, n int) {
+	r.buf = append(r.buf, n) //lint:allow hotpath golden amortised-capacity exception
+}
+
+func coldAlloc(n int) string {
+	return fmt.Sprint(n) // unannotated functions are out of scope
+}

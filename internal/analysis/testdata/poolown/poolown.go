@@ -1,0 +1,79 @@
+// Package pooltest is the poolown analyzer's golden package. It
+// imports the real pooled types (netem.Packet, tcp.Segment) and walks
+// through the single-owner lifecycle: double release, use after
+// release, and unmarked escapes must be flagged; //multinet:owns
+// transfers and //lint:allow exceptions stay silent.
+package pooltest
+
+import (
+	"multinet/internal/netem"
+	"multinet/internal/tcp"
+)
+
+func doubleRelease() {
+	p := netem.NewPacket()
+	netem.ReleasePacket(p)
+	netem.ReleasePacket(p) // want `released twice`
+}
+
+func useAfterRelease() int {
+	s := tcp.NewSegment()
+	s.Recycle()
+	return s.PayloadLen // want `use of s after release`
+}
+
+func branchRelease(p *netem.Packet, drop bool) {
+	if drop {
+		netem.ReleasePacket(p)
+		return
+	}
+	p.Size = 1 // the other branch still owns p
+	netem.ReleasePacket(p)
+}
+
+func reacquire() {
+	p := netem.NewPacket()
+	netem.ReleasePacket(p)
+	p = netem.NewPacket() // reassignment resurrects the variable
+	p.Size = 1
+	netem.ReleasePacket(p)
+}
+
+func allowedDoubleRelease() {
+	p := netem.NewPacket()
+	netem.ReleasePacket(p)
+	//lint:allow poolown golden proof that an allow annotation suppresses
+	netem.ReleasePacket(p)
+}
+
+type queue struct {
+	items []*netem.Packet
+	head  *tcp.Segment
+	owned []*netem.Packet //multinet:owns — the queue takes ownership at push
+}
+
+func push(q *queue, p *netem.Packet) {
+	q.items = append(q.items, p) // want `appended to q.items`
+	q.owned = append(q.owned, p) // marked field: deliberate transfer
+}
+
+func stash(q *queue, s *tcp.Segment) {
+	q.head = s // want `escapes into field q.head`
+}
+
+func stashMarked(q *queue, s *tcp.Segment) {
+	q.head = s //multinet:owns — golden line-marker transfer
+}
+
+var lastPacket *netem.Packet
+
+var parked *netem.Packet //multinet:owns — golden package-level sink
+
+func keep(p *netem.Packet) {
+	lastPacket = p // want `escapes into package-level variable lastPacket`
+	parked = p     // marked variable: deliberate transfer
+}
+
+func permute(q *queue, i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i] // permutation, not a transfer
+}

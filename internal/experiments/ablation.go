@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"multinet/internal/core"
@@ -191,6 +192,15 @@ func AblationSelector(o Options) AblationSelectorResult {
 			return core.Config{Transport: core.MPTCP, Primary: "wifi"}
 		},
 	}
+	// Iterate policies in sorted name order: every session inside the
+	// loop is independently seeded, but running simulations out of a
+	// map range would make execution order (and any future shared
+	// state) depend on map hashing.
+	names := make([]string, 0, len(policies))
+	for name := range policies {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 	type locTotals struct {
 		sums   map[string]float64
 		counts map[string]int
@@ -200,7 +210,8 @@ func AblationSelector(o Options) AblationSelectorResult {
 		lt := locTotals{sums: map[string]float64{}, counts: map[string]int{}}
 		probe := core.NewSession(seedFor(o.BaseSeed(), 775, loc.ID), loc.Condition())
 		est := probe.Probe()
-		for name, pick := range policies {
+		for _, name := range names {
+			pick := policies[name]
 			for si, size := range sizes {
 				s := core.NewSession(seedFor(o.BaseSeed(), 776, loc.ID, si), loc.Condition())
 				r := s.Run(pick(est, size), core.Download, size)

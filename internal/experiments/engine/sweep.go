@@ -38,7 +38,10 @@ func Sweep[T any](o Options, n int, fn func(i int) T) []T {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		// This IS the engine worker pool the determinism analyzer
+		// funnels all other engine code into.
+		go func() { //lint:allow determinism the Sweep worker pool itself; results are placed by index
+
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1

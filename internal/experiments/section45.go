@@ -196,7 +196,8 @@ func oracles(o Options, app apps.App, tag int) OracleResult {
 	norm := oracle.Normalized(conds)
 	out := OracleResult{App: app.Name + " " + app.Interaction,
 		Normalized: map[string]float64{}, Conditions: len(conds)}
-	for s, v := range norm {
+	// Per-key projection keyed by the scheme's (injective) render.
+	for s, v := range norm { //lint:allow determinism per-key map projection; PathScheme.String is injective over schemes
 		out.Normalized[s.String()] = v
 	}
 	return out

@@ -308,6 +308,8 @@ func (c *Conn) ConnID() string { return c.cfg.ConnID }
 // have room. hasDataFor is per-subflow once a scheduler gates
 // admission (or holds per-subflow duplicate queues), so a refusal for
 // one subflow must not starve later ones: continue, never break.
+//
+//multinet:hotpath
 func (c *Conn) wake() {
 	sfs := c.sched.Rank(c, c.modeEligible())
 	for _, sf := range sfs {
@@ -396,6 +398,8 @@ func takeFront(q []mapping, max int) (mapping, []mapping) {
 // Priority: scheduler-duplicated mappings, then the shared
 // retransmission pool, then fresh data (gated by Scheduler.Admit —
 // evaluated once per pull, on the fresh-data branch only).
+//
+//multinet:hotpath
 func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
 	if !sf.established || sf.dead || !c.allowedByMode(sf) {
 		return 0, nil, false
@@ -404,6 +408,7 @@ func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
 	if len(sf.dupQueue) > 0 {
 		var m mapping
 		m, sf.dupQueue = takeFront(sf.dupQueue, max)
+		//lint:allow hotpath outstanding-mapping capacity is amortised per subflow
 		sf.outstanding = append(sf.outstanding, m)
 		return m.len, &DSS{DataSeq: m.dataSeq, Len: m.len, DataAck: c.rcvNxt}, true
 	}
@@ -433,7 +438,7 @@ func (c *Conn) pull(sf *Subflow, max int) (int, any, bool) {
 			d.onFreshMapping(c, sf, m)
 		}
 	}
-	sf.outstanding = append(sf.outstanding, m)
+	sf.outstanding = append(sf.outstanding, m) //lint:allow hotpath outstanding-mapping capacity is amortised per subflow
 	return m.len, &DSS{DataSeq: m.dataSeq, Len: m.len, DataAck: c.rcvNxt}, true
 }
 

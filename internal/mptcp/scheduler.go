@@ -138,6 +138,8 @@ func sfSRTT(sf *Subflow) time.Duration {
 // a hand-rolled insertion sort: subflow counts are tiny (2-4), it is
 // stable like sort.SliceStable, and unlike the closure-based sort it
 // runs without allocating on every wake.
+//
+//multinet:hotpath
 func rankBySRTT(sfs []*Subflow) []*Subflow {
 	for i := 1; i < len(sfs); i++ {
 		for j := i; j > 0 && sfSRTT(sfs[j]) < sfSRTT(sfs[j-1]); j-- {
@@ -217,6 +219,7 @@ type holAware struct{}
 func (*holAware) Name() string                            { return SchedHoLAware }
 func (*holAware) Rank(c *Conn, sfs []*Subflow) []*Subflow { return rankBySRTT(sfs) }
 
+//multinet:hotpath
 func (*holAware) Admit(c *Conn, sf *Subflow) bool {
 	fast := fastestOther(c, sf)
 	if fast == nil {

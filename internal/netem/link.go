@@ -37,7 +37,7 @@ func (c *LinkConfig) queueLimit() int {
 // drains its queue forever stops allocating once the array has grown to
 // the droptail limit.
 type pktRing struct {
-	buf  []*Packet
+	buf  []*Packet //multinet:owns — queued packets are owned by the link until delivered or dropped
 	head int
 }
 
@@ -97,6 +97,8 @@ func (b *baseLink) QueueLen() int                { return b.queue.len() }
 // admit runs the shared drop logic; it returns true when the packet was
 // queued and the caller should (re)start service. Dropped packets are
 // recycled here — the caller must not touch p after a false return.
+//
+//multinet:hotpath
 func (b *baseLink) admit(p *Packet) bool {
 	if b.down || b.blackhole {
 		b.stats.DroppedDown++
@@ -122,6 +124,8 @@ func (b *baseLink) admit(p *Packet) bool {
 
 // deliver hands a packet to the receiver after propagation delay, unless
 // the link went down while the packet was in flight.
+//
+//multinet:hotpath
 func (b *baseLink) deliver(p *Packet) {
 	b.stats.Delivered++
 	b.stats.BytesOut += int64(p.Size)
@@ -315,6 +319,8 @@ func (l *FixedLink) vqEvict(now time.Duration) {
 }
 
 // Send implements Link.
+//
+//multinet:hotpath
 func (l *FixedLink) Send(p *Packet) {
 	l.trafficGen++
 	l.evict() // occupancy must be current before admit's droptail check
@@ -343,6 +349,8 @@ func (l *FixedLink) Send(p *Packet) {
 
 // fixedLinkArrive fires when a packet reaches the far end: the single
 // per-packet event of the elided schedule.
+//
+//multinet:hotpath
 func fixedLinkArrive(a any) {
 	p := a.(*Packet)
 	l := p.fl

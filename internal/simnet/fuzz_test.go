@@ -1,0 +1,119 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzWheelScheduleStop is the fuzz-shaped sibling of
+// TestWheelDifferential: the input bytes are decoded into a
+// schedule/stop/run workload that drives the timing wheel and the
+// reference heap in lockstep, asserting identical Stop results,
+// identical Pending counts, and an identical firing order. The seed
+// corpus encodes the patterns the differential test reaches through
+// its RNG: same-tick bursts, far-future cascades, stop-after-drain.
+func FuzzWheelScheduleStop(f *testing.F) {
+	f.Add([]byte{0x00, 0x00, 0x00, 0x10}) // one near event, implicit drain
+	f.Add([]byte{                         // burst into one tick, then RunUntil mid-tick
+		0x00, 0x00, 0x00, 0x01,
+		0x01, 0x00, 0x00, 0x01,
+		0x00, 0x00, 0x00, 0x02,
+		0x03, 0x00, 0x01,
+	})
+	f.Add([]byte{ // far-future placements across wheel levels, then drain
+		0x00, 0x02, 0x01, 0x00,
+		0x01, 0x03, 0x30,
+		0x00, 0x01, 0xff, 0xff,
+		0x04,
+	})
+	f.Add([]byte{ // schedule, stop it, schedule again, drain
+		0x00, 0x00, 0x00, 0x40,
+		0x02, 0x00, 0x00,
+		0x01, 0x00, 0x00, 0x41,
+		0x04,
+	})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := New(1)
+		ref := &refQueue{}
+		type pair struct {
+			tm Timer
+			re *refEvent
+		}
+		var handles []pair
+		var gotFired, wantFired []firing
+		nextID := 0
+		rec := func(a any) { gotFired = append(gotFired, firing{at: s.Now(), id: a.(int)}) }
+
+		pop := func() byte {
+			if len(data) == 0 {
+				return 0
+			}
+			b := data[0]
+			data = data[1:]
+			return b
+		}
+		u16 := func() int { return int(pop())<<8 | int(pop()) }
+		syncRef := func(limit time.Duration) {
+			for {
+				ev := ref.popLE(limit)
+				if ev == nil {
+					return
+				}
+				wantFired = append(wantFired, firing{at: ev.at, id: ev.id})
+			}
+		}
+
+		for len(data) > 0 && nextID < 4096 {
+			switch pop() % 5 {
+			case 0, 1: // schedule at an offset spanning sub-tick to multi-level
+				var d time.Duration
+				switch pop() % 4 {
+				case 0:
+					d = time.Duration(u16()) * time.Microsecond
+				case 1:
+					d = time.Duration(u16()) * time.Millisecond
+				case 2:
+					d = time.Duration(u16()) * time.Second
+				default:
+					d = time.Duration(pop()) * time.Hour
+				}
+				id := nextID
+				nextID++
+				tm := s.AfterArg(d, rec, id)
+				re := ref.schedule(s.Now()+d, id)
+				handles = append(handles, pair{tm, re})
+			case 2: // stop a handle (possibly already fired or stopped)
+				if len(handles) == 0 {
+					continue
+				}
+				p := handles[u16()%len(handles)]
+				want := !p.re.cancelled && stillQueued(ref, p.re)
+				p.re.cancelled = true
+				if got := p.tm.Stop(); got != want {
+					t.Fatalf("Stop = %v, want %v", got, want)
+				}
+			case 3: // run a bounded slice of virtual time
+				limit := s.Now() + time.Duration(u16())*431*time.Microsecond
+				s.RunUntil(limit)
+				syncRef(limit)
+			case 4: // drain everything
+				s.Run()
+				syncRef(1 << 62)
+			}
+			if got, want := s.Pending(), ref.pending(); got != want {
+				t.Fatalf("Pending = %d, reference %d", got, want)
+			}
+		}
+		s.Run()
+		syncRef(1 << 62)
+
+		if len(gotFired) != len(wantFired) {
+			t.Fatalf("fired %d events, reference fired %d", len(gotFired), len(wantFired))
+		}
+		for i := range gotFired {
+			if gotFired[i] != wantFired[i] {
+				t.Fatalf("firing %d = %+v, reference %+v", i, gotFired[i], wantFired[i])
+			}
+		}
+	})
+}

@@ -38,9 +38,9 @@ type Sim struct {
 	// (at, seq)-sorted batch for the tick being dispatched, consumed
 	// from dueHead.
 	wheel   wheel
-	due     []*event
+	due     []*event //multinet:owns — events homed in the dispatch batch
 	dueHead int
-	free    []*event // recycled events awaiting reuse
+	free    []*event //multinet:owns — recycled events awaiting reuse
 	seq     uint64
 	seed    int64
 	rngs    map[string]*rand.Rand
@@ -145,11 +145,14 @@ func (s *Sim) Schedule(at time.Duration, fn func()) Timer {
 // pointer-shaped arg (the idiomatic pattern is a package-level func
 // asserting arg back to the caller's receiver type), scheduling reuses
 // a recycled event and allocates nothing.
+//
+//multinet:hotpath
 func (s *Sim) ScheduleArg(at time.Duration, fn func(any), arg any) Timer {
 	if fn == nil {
 		panic("simnet: ScheduleArg with nil fn")
 	}
 	if at < s.now {
+		//lint:allow hotpath cold panic path, never taken in a correct run
 		panic(fmt.Sprintf("simnet: scheduling into the past: at=%v now=%v", at, s.now))
 	}
 	ev := s.newEvent(at, fn, arg)
@@ -185,6 +188,8 @@ func (s *Sim) DeferArg(fn func(any), arg any) Timer { return s.ScheduleArg(s.now
 
 // newEvent takes an event from the free list (or allocates one) and
 // stamps it with a fresh generation number.
+//
+//multinet:hotpath
 func (s *Sim) newEvent(at time.Duration, fn func(any), arg any) *event {
 	var ev *event
 	if n := len(s.free); n > 0 {
@@ -205,12 +210,14 @@ func (s *Sim) newEvent(at time.Duration, fn func(any), arg any) *event {
 // recycle clears an event and returns it to the free list. Its seq is
 // left in place until reuse so stale Timer handles keep failing the
 // generation check.
+//
+//multinet:hotpath
 func (s *Sim) recycle(ev *event) {
 	ev.fn = nil
 	ev.arg = nil
 	ev.next = nil
 	ev.prevp = nil
-	s.free = append(s.free, ev)
+	s.free = append(s.free, ev) //lint:allow hotpath free-list capacity is amortised; steady state never grows
 }
 
 // Stop halts Run/RunUntil after the event currently executing returns.
@@ -238,6 +245,7 @@ func (s *Sim) RunUntil(t time.Duration) int {
 // RunFor executes events for the next d of virtual time.
 func (s *Sim) RunFor(d time.Duration) int { return s.RunUntil(s.now + d) }
 
+//multinet:hotpath
 func (s *Sim) run(until time.Duration) int {
 	s.stopped = false
 	untilTick := noTick
@@ -333,7 +341,7 @@ type event struct {
 	seq   uint64 // FIFO tiebreak for identical timestamps + Timer generation
 	fn    func(any)
 	arg   any
-	next  *event
+	next  *event //multinet:owns — intrusive slot-list link
 	prevp **event
 	lvl   uint8
 	idx   uint8

@@ -76,7 +76,7 @@ const (
 // slot at or before it has been drained or cascaded, and the due bucket
 // holds (what remains of) the batch for tick itself.
 type wheel struct {
-	slot [numLevels][slotsPerLevel]*event
+	slot [numLevels][slotsPerLevel]*event //multinet:owns — intrusive per-slot event lists
 	occ  [numLevels][wordsPerLevel]uint64
 	// count tracks entries per level so the advance loop skips empty
 	// levels without touching their bitmaps.
@@ -87,6 +87,8 @@ type wheel struct {
 // place files a pending event into the due bucket (same tick) or the
 // slot its timestamp selects. Caller guarantees ev.at >= s.now, which
 // with the run loop's bookkeeping implies tick(ev) >= wheel.tick.
+//
+//multinet:hotpath
 func (s *Sim) place(ev *event) {
 	tick := int64(ev.at) >> tickShift
 	delta := tick - s.wheel.tick
@@ -120,6 +122,8 @@ func (s *Sim) place(ev *event) {
 
 // unlink removes a wheel-resident event from its slot in O(1),
 // clearing the occupancy bit when the slot empties.
+//
+//multinet:hotpath
 func (s *Sim) unlink(ev *event) {
 	next := ev.next
 	*ev.prevp = next
@@ -139,6 +143,8 @@ func (s *Sim) unlink(ev *event) {
 // During fillBucket the bucket may be transiently unordered (the final
 // sortDue fixes any interim position); for Schedule-time calls the
 // bucket is sorted and the binary search lands exactly.
+//
+//multinet:hotpath
 func (s *Sim) dueInsert(ev *event) {
 	lo, hi := s.dueHead, len(s.due)
 	for lo < hi {
@@ -151,7 +157,7 @@ func (s *Sim) dueInsert(ev *event) {
 		}
 	}
 	ev.prevp = nil
-	s.due = append(s.due, nil)
+	s.due = append(s.due, nil) //lint:allow hotpath due-bucket capacity is amortised across ticks
 	copy(s.due[lo+1:], s.due[lo:])
 	s.due[lo] = ev
 }
@@ -277,6 +283,8 @@ func (s *Sim) drainSlot0(idx int) {
 // fillBucket advances the wheel until the due bucket holds the next
 // batch of live events, ignoring candidates past untilTick. It reports
 // whether the bucket has events to dispatch.
+//
+//multinet:hotpath
 func (s *Sim) fillBucket(untilTick int64) bool {
 	if s.dueHead < len(s.due) {
 		return true
@@ -314,7 +322,7 @@ func (s *Sim) fillBucket(untilTick int64) bool {
 // so this runs once per filled bucket; a freshly drained bucket is the
 // whole slice (dueHead is 0).
 func (s *Sim) sortDue() {
-	due := s.due[s.dueHead:]
+	due := s.due[s.dueHead:] //multinet:owns — alias of the due bucket; sorting permutes in place
 	// Insertion sort: due buckets are one tick (65 µs) of events, which
 	// protocol workloads keep small; the branch below guards the
 	// pathological burst.

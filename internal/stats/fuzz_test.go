@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzECDFQuantile decodes the input into a float64 sample set and
+// checks the quantile invariants the experiments rely on: clamping at
+// the extremes, monotonicity in q, interpolated values staying inside
+// [Min, Max], and insertion-order independence (NewECDF over sorted
+// input versus incremental Add in arrival order).
+func FuzzECDFQuantile(f *testing.F) {
+	seed := func(xs ...float64) []byte {
+		b := make([]byte, 8*len(xs))
+		for i, x := range xs {
+			binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(x))
+		}
+		return b
+	}
+	f.Add(seed(1))
+	f.Add(seed(3, 1, 2))
+	f.Add(seed(-5, -5, 0, 10.25, 1e9))
+	f.Add(seed(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var samples []float64
+		var qs []float64
+		for len(data) >= 8 {
+			u := binary.LittleEndian.Uint64(data)
+			data = data[8:]
+			// Each word doubles as a candidate quantile probe.
+			qs = append(qs, float64(u%1001)/1000)
+			if x := math.Float64frombits(u); !math.IsInf(x, 0) && !math.IsNaN(x) {
+				samples = append(samples, x)
+			}
+		}
+		if len(samples) == 0 {
+			if !math.IsNaN(NewECDF(nil).Quantile(0.5)) {
+				t.Fatalf("empty ECDF Quantile(0.5) != NaN")
+			}
+			return
+		}
+
+		e := NewECDF(samples)
+		incr := &ECDF{}
+		for _, x := range samples {
+			incr.Add(x)
+		}
+
+		min, max := e.Min(), e.Max()
+		if got := e.Quantile(0); got != min {
+			t.Fatalf("Quantile(0) = %v, want Min %v", got, min)
+		}
+		if got := e.Quantile(1); got != max {
+			t.Fatalf("Quantile(1) = %v, want Max %v", got, max)
+		}
+		if got := e.Quantile(-0.5); got != min {
+			t.Fatalf("Quantile(-0.5) = %v, want clamp to Min %v", got, min)
+		}
+		if got := e.Quantile(1.5); got != max {
+			t.Fatalf("Quantile(1.5) = %v, want clamp to Max %v", got, max)
+		}
+
+		qs = append(qs, 0, 0.25, 0.5, 0.75, 1)
+		sort.Float64s(qs)
+		prevV := math.Inf(-1)
+		for _, q := range qs {
+			v := e.Quantile(q)
+			if v < min || v > max {
+				t.Fatalf("Quantile(%v) = %v outside [%v, %v]", q, v, min, max)
+			}
+			if vi := incr.Quantile(q); vi != v {
+				t.Fatalf("Quantile(%v): incremental Add gave %v, NewECDF gave %v", q, vi, v)
+			}
+			if v < prevV {
+				t.Fatalf("Quantile not monotonic at q=%v: %v < %v", q, v, prevV)
+			}
+			prevV = v
+		}
+		if med := e.Median(); med != e.Quantile(0.5) {
+			t.Fatalf("Median() = %v, Quantile(0.5) = %v", med, e.Quantile(0.5))
+		}
+	})
+}

@@ -77,7 +77,18 @@ func (e *ECDF) Quantile(q float64) float64 {
 		return e.sorted[lo]
 	}
 	frac := pos - float64(lo)
-	return e.sorted[lo]*(1-frac) + e.sorted[hi]*frac
+	// lo + frac*(hi-lo) rather than lo*(1-frac) + hi*frac: the latter
+	// can round a hair outside [sorted[lo], sorted[hi]] (e.g. between
+	// two equal order statistics), breaking monotonicity in q by an
+	// ulp. The clamp guards the remaining rounding of the addition.
+	v := e.sorted[lo] + frac*(e.sorted[hi]-e.sorted[lo])
+	if v < e.sorted[lo] {
+		v = e.sorted[lo]
+	}
+	if v > e.sorted[hi] {
+		v = e.sorted[hi]
+	}
+	return v
 }
 
 // Median returns the 0.5 quantile.

@@ -1,3 +1,10 @@
+//go:build !race
+
+// The testing.AllocsPerRun pins in this file measure the production
+// allocator behavior; race-detector instrumentation adds bookkeeping
+// allocations, so the pins only hold in non-race builds (CI runs both
+// a race job and a non-race job, so the pins are still enforced).
+
 package tcp
 
 import (

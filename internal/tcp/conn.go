@@ -501,6 +501,8 @@ func (c *Conn) pipe() int {
 
 // trySend transmits retransmissions and new data as the congestion and
 // peer windows allow (the RFC 6675 send loop).
+//
+//multinet:hotpath
 func (c *Conn) trySend() {
 	if c.state != StateEstablished && c.state != StateCloseWait &&
 		c.state != StateFinWait && c.state != StateClosing {
@@ -631,6 +633,8 @@ func (c *Conn) maybeSendFin() {
 }
 
 // processAck handles the acknowledgement field and SACK scoreboard.
+//
+//multinet:hotpath
 func (c *Conn) processAck(seg *Segment) {
 	c.peerWnd = seg.Wnd
 	c.applySack(seg.Sack)
@@ -1006,6 +1010,8 @@ func (c *Conn) track(seg *Segment) {
 // transmit hands the segment to the interface. The segment must be a
 // pooled wire copy the caller will not touch again: the receiver (or a
 // drop path inside netem) recycles it.
+//
+//multinet:hotpath
 func (c *Conn) transmit(seg *Segment) {
 	c.segmentsSent++
 	if c.dir == netem.Up {

@@ -57,6 +57,8 @@ func (s *Stack) sendDir() netem.Direction {
 // (and their callbacks) therefore must not retain the segment or
 // anything aliased to it beyond the handle call — they copy the fields
 // they need, as the MPTCP layer and capture taps do.
+//
+//multinet:hotpath
 func (s *Stack) dispatch(iface *netem.Iface, p *netem.Packet) {
 	seg, ok := p.Payload.(*Segment)
 	if !ok {
