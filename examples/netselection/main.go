@@ -33,7 +33,8 @@ func main() {
 			est.Mbps("wifi"), est.Mbps("lte"), est.Best(), est.Disparity())
 
 		for _, size := range sizes {
-			cfg := core.Selector{}.Choose(est, size)
+			d := core.Selector{}.Decide(est, size)
+			cfg := core.ConfigFor(d)
 			chosen := core.NewSession(int64(loc.ID*100), loc.Condition()).Run(cfg, core.Download, size)
 			static := core.NewSession(int64(loc.ID*100), loc.Condition()).
 				Run(core.Config{Transport: core.TCP, Iface: "wifi"}, core.Download, size)

@@ -22,6 +22,11 @@ var enginePackages = []string{
 	"multinet/internal/oracle",
 	"multinet/internal/experiments",
 	"multinet/internal/replay",
+	// The selector package (policy + sharded estimate store) takes time
+	// as explicit caller-supplied instants, so it holds the same
+	// no-wall-clock contract as the engine; internal/serve, which owns
+	// the service's real clock, stays outside.
+	"multinet/internal/selector",
 }
 
 // IsEnginePackage reports whether path is inside the deterministic

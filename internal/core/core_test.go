@@ -107,7 +107,7 @@ func TestProbeEstimates(t *testing.T) {
 func TestSelectorShortFlow(t *testing.T) {
 	sel := Selector{}
 	est := WiFiLTEEstimate(3, 9, 0, 0)
-	cfg := sel.Choose(est, 50_000)
+	cfg := ConfigFor(sel.Decide(est, 50_000))
 	if cfg.Transport != TCP || cfg.Iface != "lte" {
 		t.Fatalf("short flow choice = %+v, want LTE-TCP", cfg)
 	}
@@ -116,7 +116,7 @@ func TestSelectorShortFlow(t *testing.T) {
 func TestSelectorLongFlowComparablePaths(t *testing.T) {
 	sel := Selector{}
 	est := WiFiLTEEstimate(6, 5, 0, 0)
-	cfg := sel.Choose(est, 5<<20)
+	cfg := ConfigFor(sel.Decide(est, 5<<20))
 	if cfg.Transport != MPTCP || cfg.Primary != "wifi" || cfg.CC != mptcp.Decoupled {
 		t.Fatalf("long flow choice = %+v, want MPTCP wifi-primary decoupled", cfg)
 	}
@@ -125,7 +125,7 @@ func TestSelectorLongFlowComparablePaths(t *testing.T) {
 func TestSelectorLongFlowDisparatePaths(t *testing.T) {
 	sel := Selector{}
 	est := WiFiLTEEstimate(1, 10, 0, 0)
-	cfg := sel.Choose(est, 5<<20)
+	cfg := ConfigFor(sel.Decide(est, 5<<20))
 	if cfg.Transport != TCP || cfg.Iface != "lte" {
 		t.Fatalf("disparate-path choice = %+v, want LTE-TCP (Fig. 7a regime)", cfg)
 	}
@@ -142,7 +142,7 @@ func TestSelectorBeatsWorstStaticPolicy(t *testing.T) {
 	}
 	probe := NewSession(6, cond)
 	est := probe.Probe()
-	cfg := Selector{}.Choose(est, 1<<20)
+	cfg := Choose(Selector{}, est, 1<<20)
 
 	chosen := NewSession(7, cond).Run(cfg, Download, 1<<20)
 	wifi := NewSession(7, cond).Run(Config{Transport: TCP, Iface: "wifi"}, Download, 1<<20)
@@ -236,7 +236,7 @@ func TestEstimateNPathRanking(t *testing.T) {
 	if !sel.UseMPTCP(e, 5<<20) {
 		t.Fatal("long flow over comparable best pair should use MPTCP")
 	}
-	cfg := sel.Choose(e, 5<<20)
+	cfg := ConfigFor(sel.Decide(e, 5<<20))
 	if cfg.Transport != MPTCP || cfg.Primary != "wlan-near" {
 		t.Fatalf("Choose = %+v, want MPTCP primary wlan-near", cfg)
 	}

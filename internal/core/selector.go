@@ -1,191 +1,80 @@
 package core
 
 import (
-	"sort"
 	"time"
 
 	"multinet/internal/mptcp"
+	"multinet/internal/selector"
 )
 
-// hugeDisparity is the ratio reported when a disparity is undefined
-// (a zero-rate path, or fewer than two paths): effectively infinite,
-// so every disparity gate fails closed to single-path TCP.
-const hugeDisparity = 1e9
+// The selector API is re-homed in internal/selector — the redesigned
+// public decision surface shared by the offline experiments and the
+// online path-selection service (internal/serve, cmd/serve). core
+// keeps type aliases and thin constructors so experiment code written
+// against the original accreted API keeps compiling, and ConfigFor
+// maps a selector.Decision onto the transfer Config this package
+// runs; every decision, offline or online, flows through
+// selector.Selector.Decide.
 
-// PathEstimate is one path's estimated conditions, as a lightweight
-// probe or history would report them.
-type PathEstimate struct {
-	Name string
-	Mbps float64
-	RTT  time.Duration
-}
+// PathEstimate is one path's estimated conditions.
+//
+// Deprecated: use selector.PathEstimate (this is an alias of it).
+type PathEstimate = selector.PathEstimate
 
 // Estimate summarises the current conditions of any number of paths.
-// Path order is significant: earlier paths win ranking ties, so build
-// estimates in preference order (Probe uses host attachment order).
-type Estimate struct {
-	Paths []PathEstimate
-}
+//
+// Deprecated: use selector.Estimate (this is an alias of it).
+type Estimate = selector.Estimate
+
+// Selector is the adaptive policy over an Estimate; see
+// selector.Selector for the policy's findings-to-rules mapping.
+//
+// Deprecated: use selector.Selector (this is an alias of it).
+type Selector = selector.Selector
 
 // NewEstimate builds an estimate from per-path stats in preference
 // order.
+//
+// Deprecated: use selector.EstimateOf.
 func NewEstimate(paths ...PathEstimate) Estimate {
-	return Estimate{Paths: paths}
+	return selector.EstimateOf(paths...)
 }
 
 // WiFiLTEEstimate is the two-path convenience constructor for the
-// paper's classic {wifi, lte} pair.
+// paper's classic {wifi, lte} pair, a special case of the N-path
+// selector.EstimateOf idiom.
 func WiFiLTEEstimate(wifiMbps, lteMbps float64, wifiRTT, lteRTT time.Duration) Estimate {
-	return NewEstimate(
+	return selector.EstimateOf(
 		PathEstimate{Name: "wifi", Mbps: wifiMbps, RTT: wifiRTT},
 		PathEstimate{Name: "lte", Mbps: lteMbps, RTT: lteRTT},
 	)
 }
 
-// Set updates the named path's estimate, appending it if new.
-func (e *Estimate) Set(name string, mbps float64, rtt time.Duration) {
-	for i := range e.Paths {
-		if e.Paths[i].Name == name {
-			e.Paths[i].Mbps, e.Paths[i].RTT = mbps, rtt
-			return
-		}
+// ConfigFor maps a selector Decision onto the transfer Config that
+// realises it: single-path TCP on the preferred path, or MPTCP with
+// the preferred path as primary and the decided coupling. The decided
+// scheduler is carried only when it differs from the min-SRTT default
+// so configuration names (and the output goldens pinning them) render
+// exactly as the pre-redesign Selector.Choose did.
+func ConfigFor(d selector.Decision) Config {
+	if !d.UseMPTCP {
+		return Config{Transport: TCP, Iface: d.Primary()}
 	}
-	e.Paths = append(e.Paths, PathEstimate{Name: name, Mbps: mbps, RTT: rtt})
+	cfg := Config{Transport: MPTCP, Primary: d.Primary(), CC: d.CC}
+	if d.Scheduler != "" && d.Scheduler != mptcp.SchedMinSRTT {
+		cfg.Scheduler = d.Scheduler
+	}
+	return cfg
 }
 
-// Lookup returns the named path's estimate.
-func (e Estimate) Lookup(name string) (PathEstimate, bool) {
-	for _, p := range e.Paths {
-		if p.Name == name {
-			return p, true
-		}
-	}
-	return PathEstimate{}, false
-}
-
-// Mbps returns the named path's estimated throughput (0 if unknown).
-func (e Estimate) Mbps(name string) float64 {
-	p, _ := e.Lookup(name)
-	return p.Mbps
-}
-
-// Ranked returns the paths best-first: higher throughput wins, ties
-// broken by lower RTT, remaining ties by estimate order.
-func (e Estimate) Ranked() []PathEstimate {
-	out := append([]PathEstimate(nil), e.Paths...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Mbps != out[j].Mbps {
-			return out[i].Mbps > out[j].Mbps
-		}
-		return out[i].RTT < out[j].RTT
-	})
-	return out
-}
-
-// Best returns the name of the top-ranked path ("" for an empty
-// estimate).
-func (e Estimate) Best() string {
-	r := e.Ranked()
-	if len(r) == 0 {
-		return ""
-	}
-	return r[0].Name
-}
-
-// Disparity returns max/min of the per-path throughput estimates
-// across the whole set (hugeDisparity when any path reports zero or
-// fewer than two paths exist).
-func (e Estimate) Disparity() float64 {
-	if len(e.Paths) < 2 {
-		return hugeDisparity
-	}
-	lo, hi := e.Paths[0].Mbps, e.Paths[0].Mbps
-	for _, p := range e.Paths[1:] {
-		if p.Mbps < lo {
-			lo = p.Mbps
-		}
-		if p.Mbps > hi {
-			hi = p.Mbps
-		}
-	}
-	if lo <= 0 {
-		return hugeDisparity
-	}
-	return hi / lo
-}
-
-// PairDisparity returns the throughput ratio of the best path to the
-// second-best — the quantity that decides whether MPTCP's extra
-// subflow can help. With exactly two paths it equals Disparity; with
-// more it ignores paths MPTCP's scheduler would starve anyway.
-func (e Estimate) PairDisparity() float64 {
-	r := e.Ranked()
-	if len(r) < 2 || r[1].Mbps <= 0 {
-		return hugeDisparity
-	}
-	return r[0].Mbps / r[1].Mbps
-}
-
-// Selector is the adaptive policy the paper's conclusion calls for,
-// assembled from its empirical findings:
+// Choose evaluates the policy and returns the transfer configuration
+// for a flow of the given size under the estimated conditions — the
+// legacy one-call form of ConfigFor(s.Decide(e, flowBytes)).
 //
-//   - Short flows gain nothing from MPTCP (Figs. 7, 18/19): use
-//     single-path TCP on the better network.
-//   - With a large rate disparity between the paths, MPTCP underper-
-//     forms the better single path at every size (Fig. 7a): stay
-//     single-path.
-//   - Otherwise, long flows benefit from MPTCP with the primary on the
-//     better network (Fig. 8) and decoupled congestion control, which
-//     outruns coupled on long flows (Figs. 13/14).
-//
-// The policy ranks any number of paths: MPTCP is worthwhile when the
-// best two paths are comparable, whatever the rest of the set does.
-type Selector struct {
-	// ShortFlowBytes is the flow size below which single-path TCP is
-	// always chosen (default 200 KB — between the paper's 100 KB
-	// "short" and 1 MB "long" sizes).
-	ShortFlowBytes int
-	// MaxDisparity is the largest path-rate ratio at which MPTCP is
-	// still worthwhile (default 4, from the Fig. 7a regime).
-	MaxDisparity float64
-	// PreferCoupled selects coupled CC for long flows (fairness over
-	// raw throughput); default false per Figs. 13/14.
-	PreferCoupled bool
-}
-
-func (s Selector) shortFlowBytes() int {
-	if s.ShortFlowBytes > 0 {
-		return s.ShortFlowBytes
-	}
-	return 200 << 10
-}
-
-func (s Selector) maxDisparity() float64 {
-	if s.MaxDisparity > 0 {
-		return s.MaxDisparity
-	}
-	return 4
-}
-
-// UseMPTCP is the MPTCP-worthwhile predicate over the estimated path
-// set: the flow is long enough and the two best paths are within the
-// disparity bound.
-func (s Selector) UseMPTCP(e Estimate, flowBytes int) bool {
-	return flowBytes > s.shortFlowBytes() && e.PairDisparity() <= s.maxDisparity()
-}
-
-// Choose returns the transfer configuration for a flow of the given
-// size under the estimated conditions.
-func (s Selector) Choose(e Estimate, flowBytes int) Config {
-	best := e.Best()
-	if !s.UseMPTCP(e, flowBytes) {
-		return Config{Transport: TCP, Iface: best}
-	}
-	cc := mptcp.Decoupled
-	if s.PreferCoupled {
-		cc = mptcp.Coupled
-	}
-	return Config{Transport: MPTCP, Primary: best, CC: cc}
+// Deprecated: call selector.Selector.Decide and ConfigFor so the
+// Decision's rationale and scheduler survive to the caller.
+func Choose(s Selector, e Estimate, flowBytes int) Config {
+	return ConfigFor(s.Decide(e, flowBytes))
 }
 
 // ProbeSize is the transfer used per network by Session.Probe.

@@ -180,7 +180,9 @@ func AblationSelector(o Options) AblationSelectorResult {
 	n := o.LocationCount(len(phy.Locations))
 	policies := map[string]func(est core.Estimate, size int) core.Config{
 		"adaptive-selector": func(est core.Estimate, size int) core.Config {
-			return core.Selector{}.Choose(est, size)
+			// The same Decide path the online service queries
+			// (internal/selector → internal/serve): no forked logic.
+			return core.ConfigFor(core.Selector{}.Decide(est, size))
 		},
 		"always-wifi": func(core.Estimate, int) core.Config {
 			return core.Config{Transport: core.TCP, Iface: "wifi"}

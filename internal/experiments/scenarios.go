@@ -88,7 +88,7 @@ func runScenarioVariants(o Options, tag int, variants []scenarioVariant) []Scena
 				v.cfgs[ci], core.Download, scenarioSizesKB[si]<<10, trials)
 		})
 		for si, kb := range scenarioSizesKB {
-			res.Decisions = append(res.Decisions, core.Selector{}.Choose(est, kb<<10).Name())
+			res.Decisions = append(res.Decisions, core.ConfigFor(core.Selector{}.Decide(est, kb<<10)).Name())
 			res.Mbps = append(res.Mbps, grid[si*len(v.cfgs):(si+1)*len(v.cfgs)])
 		}
 		last := res.Mbps[len(res.Mbps)-1]
@@ -272,7 +272,7 @@ func ScenarioWiFi2LTE(o Options) ScenarioWiFi2LTEResult {
 	// Oracle over N=3 alternatives: replay the long-flow app at the
 	// four representative sites, each widened to three paths.
 	rec := replay.Record(apps.DropboxClick)
-	tcs := replay.ConfigsFor(wifi2LTEPaths)
+	tcs := replay.Configs(wifi2LTEPaths)
 	locIDs := []int{10, 15, 16, 17}
 	perCond := engine.Sweep(o, len(locIDs), func(ci int) map[string]time.Duration {
 		cond := wifi2LTECondition(phy.LocationByID(locIDs[ci]))

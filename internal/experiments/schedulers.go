@@ -86,7 +86,7 @@ func ScenarioSchedulers(o Options) ScenarioSchedulersResult {
 	// long-flow app at four representative sites and normalise one
 	// oracle per scheduler against the single-path (N-path) oracle.
 	rec := replay.Record(apps.DropboxClick)
-	tcs := replay.SchedulerConfigsFor(replay.WiFiLTEPaths(), schedulerOrder)
+	tcs := replay.Configs(replay.WiFiLTEPaths(), replay.WithSchedulers(schedulerOrder...))
 	locIDs := []int{10, 15, 16, 17}
 	perCond := engine.Sweep(o, len(locIDs), func(ci int) map[string]time.Duration {
 		cond := phy.LocationByID(locIDs[ci]).Condition()

@@ -104,16 +104,58 @@ func WiFiLTEPaths() []PathName {
 	return []PathName{{Iface: "wifi", Label: "WiFi"}, {Iface: "lte", Label: "LTE"}}
 }
 
-// ConfigsFor generates the transport-configuration family for an
-// arbitrary path set, in the paper's legend order: single-path TCP
-// per path, then coupled MPTCP per primary, then decoupled MPTCP per
-// primary — N + 2N configurations for N paths.
-func ConfigsFor(paths []PathName) []TransportConfig {
-	out := make([]TransportConfig, 0, 3*len(paths))
+// ConfigsOption customises the family Configs generates.
+type ConfigsOption func(*configsOptions)
+
+type configsOptions struct {
+	couplings  []mptcp.CongestionMode
+	schedulers []string
+}
+
+// WithCouplings selects which congestion couplings the MPTCP block
+// enumerates, in order. The default is Coupled then Decoupled — the
+// paper's legend order.
+func WithCouplings(modes ...mptcp.CongestionMode) ConfigsOption {
+	return func(o *configsOptions) { o.couplings = modes }
+}
+
+// WithSchedulers switches the MPTCP block to the scheduler-comparison
+// family: per named scheduler, in order, one decoupled-CC MPTCP
+// configuration per primary ("MPTCP-<scheduler>-<Label>"). Decoupled
+// CC isolates the scheduler effect from congestion coupling (the
+// paper's Figs. 19/21 show decoupled is the stronger MPTCP variant).
+func WithSchedulers(names ...string) ConfigsOption {
+	return func(o *configsOptions) { o.schedulers = names }
+}
+
+// Configs generates the transport-configuration family for an
+// arbitrary path set, in the paper's legend order: single-path TCP per
+// path first, then the MPTCP block. Without options the MPTCP block
+// enumerates congestion couplings (coupled then decoupled MPTCP per
+// primary — N + 2N configurations for N paths, the paper's Fig. 18/20
+// family); WithSchedulers replaces it with the scheduler comparison
+// and WithCouplings narrows or reorders the couplings.
+func Configs(paths []PathName, opts ...ConfigsOption) []TransportConfig {
+	o := configsOptions{couplings: []mptcp.CongestionMode{mptcp.Coupled, mptcp.Decoupled}}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	out := make([]TransportConfig, 0, len(paths)*(1+len(o.couplings)+len(o.schedulers)))
 	for _, p := range paths {
 		out = append(out, TransportConfig{Name: p.Label + "-TCP", Kind: SinglePath, Iface: p.Iface})
 	}
-	for _, cc := range []mptcp.CongestionMode{mptcp.Coupled, mptcp.Decoupled} {
+	if o.schedulers != nil {
+		for _, s := range o.schedulers {
+			for _, p := range paths {
+				out = append(out, TransportConfig{
+					Name: "MPTCP-" + s + "-" + p.Label, Kind: Multipath,
+					Primary: p.Iface, CC: mptcp.Decoupled, Scheduler: s,
+				})
+			}
+		}
+		return out
+	}
+	for _, cc := range o.couplings {
 		label := "Coupled"
 		if cc == mptcp.Decoupled {
 			label = "Decoupled"
@@ -127,33 +169,24 @@ func ConfigsFor(paths []PathName) []TransportConfig {
 	return out
 }
 
+// ConfigsFor generates the coupling family for a path set.
+//
+// Deprecated: use Configs(paths).
+func ConfigsFor(paths []PathName) []TransportConfig {
+	return Configs(paths)
+}
+
 // StandardConfigs returns the paper's six replay configurations in its
 // Fig. 18/20 legend order.
 func StandardConfigs() []TransportConfig {
-	return ConfigsFor(WiFiLTEPaths())
+	return Configs(WiFiLTEPaths())
 }
 
-// SchedulerConfigsFor generates the scheduler-comparison family for a
-// path set: single-path TCP per path, then — per named scheduler, in
-// the given order — one decoupled-CC MPTCP configuration per primary
-// ("MPTCP-<scheduler>-<Label>"). N + S*N configurations for N paths
-// and S schedulers; decoupled CC isolates the scheduler effect from
-// congestion coupling (the paper's Figs. 19/21 show decoupled is the
-// stronger MPTCP variant).
+// SchedulerConfigsFor generates the scheduler-comparison family.
+//
+// Deprecated: use Configs(paths, WithSchedulers(schedulers...)).
 func SchedulerConfigsFor(paths []PathName, schedulers []string) []TransportConfig {
-	out := make([]TransportConfig, 0, len(paths)*(1+len(schedulers)))
-	for _, p := range paths {
-		out = append(out, TransportConfig{Name: p.Label + "-TCP", Kind: SinglePath, Iface: p.Iface})
-	}
-	for _, s := range schedulers {
-		for _, p := range paths {
-			out = append(out, TransportConfig{
-				Name: "MPTCP-" + s + "-" + p.Label, Kind: Multipath,
-				Primary: p.Iface, CC: mptcp.Decoupled, Scheduler: s,
-			})
-		}
-	}
-	return out
+	return Configs(paths, WithSchedulers(schedulers...))
 }
 
 // FlowStat records one replayed connection's timing.

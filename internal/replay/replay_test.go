@@ -209,3 +209,42 @@ func TestSchedulerConfigsReplayComplete(t *testing.T) {
 		}
 	}
 }
+
+// TestConfigsMatchesDeprecatedWrappers pins the consolidation: the
+// functional-options Configs must generate byte-for-byte the families
+// the deprecated ConfigsFor/SchedulerConfigsFor names produced.
+func TestConfigsMatchesDeprecatedWrappers(t *testing.T) {
+	paths := append(WiFiLTEPaths(), PathName{Iface: "eth", Label: "Eth"})
+	a := Configs(paths)
+	b := ConfigsFor(paths)
+	if len(a) != len(b) || len(a) != 9 {
+		t.Fatalf("coupling family sizes: %d vs %d, want 9", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("config %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	scheds := mptcp.SchedulerNames()
+	c := Configs(paths, WithSchedulers(scheds...))
+	d := SchedulerConfigsFor(paths, scheds)
+	if len(c) != len(d) || len(c) != len(paths)*(1+len(scheds)) {
+		t.Fatalf("scheduler family sizes: %d vs %d", len(c), len(d))
+	}
+	for i := range c {
+		if c[i] != d[i] {
+			t.Fatalf("config %d: %+v vs %+v", i, c[i], d[i])
+		}
+	}
+}
+
+func TestConfigsWithCouplings(t *testing.T) {
+	tcs := Configs(WiFiLTEPaths(), WithCouplings(mptcp.Decoupled))
+	if len(tcs) != 4 {
+		t.Fatalf("configs = %d, want 2 TCP + 2 MPTCP", len(tcs))
+	}
+	if tcs[2].Name != "MPTCP-Decoupled-WiFi" || tcs[2].CC != mptcp.Decoupled ||
+		tcs[3].Name != "MPTCP-Decoupled-LTE" {
+		t.Fatalf("coupling block = %+v %+v", tcs[2], tcs[3])
+	}
+}

@@ -1,0 +1,198 @@
+package selector
+
+import (
+	"testing"
+	"time"
+
+	"multinet/internal/mptcp"
+)
+
+func pair(aMbps, bMbps float64) Estimate {
+	return EstimateOf(
+		PathEstimate{Name: "wifi", Mbps: aMbps, RTT: 20 * time.Millisecond},
+		PathEstimate{Name: "lte", Mbps: bMbps, RTT: 40 * time.Millisecond},
+	)
+}
+
+func TestDecideShortFlow(t *testing.T) {
+	d := Selector{}.Decide(pair(3, 9), 50_000)
+	if d.UseMPTCP {
+		t.Fatal("short flow must stay single-path")
+	}
+	if d.Primary() != "lte" {
+		t.Fatalf("primary = %q, want lte", d.Primary())
+	}
+	if d.Rationale != RationaleShortFlow {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+	if want := []string{"lte", "wifi"}; len(d.Paths) != 2 || d.Paths[0] != want[0] || d.Paths[1] != want[1] {
+		t.Fatalf("paths = %v, want %v", d.Paths, want)
+	}
+}
+
+func TestDecideLongFlowComparable(t *testing.T) {
+	d := Selector{}.Decide(pair(6, 5), 5<<20)
+	if !d.UseMPTCP || d.Primary() != "wifi" || d.CC != mptcp.Decoupled {
+		t.Fatalf("decision = %+v, want MPTCP wifi-primary decoupled", d)
+	}
+	if d.Scheduler != mptcp.SchedMinSRTT {
+		t.Fatalf("scheduler = %q, want minsrtt default", d.Scheduler)
+	}
+	if d.Rationale != RationaleAggregate {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+	if d.PairDisparity != 6.0/5 {
+		t.Fatalf("disparity = %v", d.PairDisparity)
+	}
+}
+
+func TestDecideDisparatePaths(t *testing.T) {
+	d := Selector{}.Decide(pair(1, 10), 5<<20)
+	if d.UseMPTCP || d.Primary() != "lte" {
+		t.Fatalf("decision = %+v, want single-path lte (Fig. 7a regime)", d)
+	}
+	if d.Rationale != RationaleDisparity {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+}
+
+func TestDecideEmptyEstimate(t *testing.T) {
+	d := Selector{}.Decide(Estimate{}, 5<<20)
+	if d.UseMPTCP || d.Primary() != "" || len(d.Paths) != 0 {
+		t.Fatalf("decision = %+v, want empty no-MPTCP", d)
+	}
+	if d.Rationale != RationaleNoPaths {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+}
+
+func TestDecidePreferCoupled(t *testing.T) {
+	d := Selector{PreferCoupled: true}.Decide(pair(6, 5), 5<<20)
+	if !d.UseMPTCP || d.CC != mptcp.Coupled {
+		t.Fatalf("decision = %+v, want coupled CC", d)
+	}
+}
+
+func TestDecideHoLAwareEscalation(t *testing.T) {
+	s := Selector{HoLAwareDisparity: 2}
+	// Disparity 3 is inside the MPTCP bound (4) but past the HoL-aware
+	// escalation point.
+	d := s.Decide(pair(9, 3), 5<<20)
+	if !d.UseMPTCP || d.Scheduler != mptcp.SchedHoLAware {
+		t.Fatalf("decision = %+v, want holaware scheduler", d)
+	}
+	if d.Rationale != RationaleHoLAware {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+	// Near-equal pair stays on min-SRTT.
+	if d := s.Decide(pair(6, 5), 5<<20); d.Scheduler != mptcp.SchedMinSRTT {
+		t.Fatalf("scheduler = %q, want minsrtt for near-equal pair", d.Scheduler)
+	}
+	// Default policy never escalates: the experiment goldens pin this.
+	if d := (Selector{}).Decide(pair(9, 3), 5<<20); d.Scheduler != mptcp.SchedMinSRTT {
+		t.Fatalf("default policy escalated scheduler to %q", d.Scheduler)
+	}
+}
+
+// TestDecideMatchesRanked pins DecideInto's insertion sort to the
+// exact order Ranked (sort.SliceStable) produces, ties included.
+func TestDecideMatchesRanked(t *testing.T) {
+	e := EstimateOf(
+		PathEstimate{Name: "a", Mbps: 5, RTT: 30 * time.Millisecond},
+		PathEstimate{Name: "b", Mbps: 9, RTT: 60 * time.Millisecond},
+		PathEstimate{Name: "c", Mbps: 5, RTT: 30 * time.Millisecond}, // full tie with a
+		PathEstimate{Name: "d", Mbps: 9, RTT: 45 * time.Millisecond},
+		PathEstimate{Name: "e", Mbps: 0, RTT: 0},
+	)
+	d := Selector{}.Decide(e, 5<<20)
+	ranked := e.Ranked()
+	if len(d.Paths) != len(ranked) {
+		t.Fatalf("paths %v vs ranked %v", d.Paths, ranked)
+	}
+	for i := range ranked {
+		if d.Paths[i] != ranked[i].Name {
+			t.Fatalf("paths[%d] = %q, ranked = %q", i, d.Paths[i], ranked[i].Name)
+		}
+	}
+	if d.PairDisparity != e.PairDisparity() {
+		t.Fatalf("disparity %v vs %v", d.PairDisparity, e.PairDisparity())
+	}
+}
+
+func TestDecideIntoReusesCapacity(t *testing.T) {
+	e := pair(6, 5)
+	var d Decision
+	s := Selector{}
+	s.DecideInto(&d, e, 5<<20)
+	if testing.AllocsPerRun(100, func() {
+		s.DecideInto(&d, e, 5<<20)
+	}) != 0 {
+		t.Fatal("warm DecideInto must not allocate")
+	}
+}
+
+func TestEstimateIndexedSetLookup(t *testing.T) {
+	var e Estimate
+	names := []string{"p0", "p1", "p2", "p3", "p4", "p5", "p6", "p7", "p8", "p9"}
+	for i, n := range names {
+		e.Set(n, float64(i+1), time.Duration(i)*time.Millisecond)
+	}
+	if e.index == nil {
+		t.Fatalf("index not built past threshold (%d paths)", len(names))
+	}
+	for i, n := range names {
+		p, ok := e.Lookup(n)
+		if !ok || p.Mbps != float64(i+1) {
+			t.Fatalf("Lookup(%q) = %+v %v", n, p, ok)
+		}
+	}
+	// Update through the index must hit the right slot.
+	e.Set("p7", 99, 0)
+	if got := e.Mbps("p7"); got != 99 {
+		t.Fatalf("after Set, Mbps(p7) = %v", got)
+	}
+	if _, ok := e.Lookup("absent"); ok {
+		t.Fatal("Lookup(absent) = true")
+	}
+}
+
+// TestEstimateIndexStaleCopy pins the safety contract: a value copy
+// that diverges from the shared index degrades to the linear scan,
+// never to a wrong answer.
+func TestEstimateIndexStaleCopy(t *testing.T) {
+	var a Estimate
+	for i := 0; i < indexThreshold; i++ {
+		a.Set(string(rune('a'+i)), float64(i+1), 0)
+	}
+	b := a // shares the index map
+	b.Paths = append([]PathEstimate(nil), b.Paths[:2]...)
+	// The shared index still claims positions >= 2; b must not trust it.
+	if _, ok := b.Lookup("h"); ok {
+		t.Fatal("stale index produced a phantom path")
+	}
+	if p, ok := b.Lookup("b"); !ok || p.Mbps != 2 {
+		t.Fatalf("Lookup(b) = %+v %v", p, ok)
+	}
+	// Writing through the truncated copy must not corrupt the original.
+	b.Set("z", 50, 0)
+	if _, ok := a.Lookup("z"); ok && a.Mbps("z") != 50 {
+		t.Fatal("cross-copy corruption")
+	}
+	if a.Mbps("h") != 8 {
+		t.Fatalf("original lost a path: %v", a.Mbps("h"))
+	}
+}
+
+func TestEstimateOfIndexesLargeSets(t *testing.T) {
+	paths := make([]PathEstimate, 12)
+	for i := range paths {
+		paths[i] = PathEstimate{Name: string(rune('a' + i)), Mbps: float64(i)}
+	}
+	e := EstimateOf(paths...)
+	if e.index == nil {
+		t.Fatal("EstimateOf did not index a 12-path set")
+	}
+	if e.Mbps("k") != 10 {
+		t.Fatalf("Mbps(k) = %v", e.Mbps("k"))
+	}
+}

@@ -1,0 +1,250 @@
+package selector
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Store is the online service's estimate state: per-site path
+// estimates, sharded by site name so concurrent telemetry and decide
+// traffic for different sites never contend. Each shard has its own
+// mutex and site map; a query locks exactly one shard, and only long
+// enough to copy the site's decayed estimate into the caller's
+// Decision scratch — there is no cross-shard locking anywhere.
+//
+// Estimates age by exponential decay: a path's throughput estimate is
+// worth half as much every HalfLife of silence, so a path that stops
+// reporting sinks in the ranking and eventually fails the MPTCP
+// disparity gate, exactly as a probe-driven estimate would have gone
+// stale. Time is supplied by the caller as an explicit monotonic
+// instant (cmd/serve feeds time.Since(start)), which keeps this
+// package free of wall clocks: tests and simulations inject any clock
+// they like, and the determinism analyzer holds for the whole package.
+type Store struct {
+	shards []storeShard
+	mask   uint32
+
+	policy   Selector
+	halfLife time.Duration
+	gain     float64
+}
+
+// storeShard is one lock domain. The padding keeps neighbouring
+// shards' mutexes off one cache line so uncontended shards stay
+// uncontended on real hardware.
+type storeShard struct {
+	mu    sync.Mutex
+	sites map[string]*siteState
+	_     [40]byte
+}
+
+// siteState is one site's per-path estimate with the instants needed
+// for decay. The three slices are parallel; paths append in
+// first-telemetry order, which thereby becomes the site's ranking
+// tie-break order (matching Estimate's ordering contract).
+type siteState struct {
+	paths  []PathEstimate
+	lastAt []time.Duration
+}
+
+// StoreConfig configures a Store. The zero value is usable: 64
+// shards, a 30 s half-life, a 0.3 EWMA gain and the default policy.
+type StoreConfig struct {
+	// Shards is the shard count, rounded up to a power of two
+	// (default 64).
+	Shards int
+	// HalfLife is the silence after which a path's throughput
+	// estimate has decayed to half (default 30 s).
+	HalfLife time.Duration
+	// Gain is the EWMA weight of a fresh sample against the decayed
+	// history, in (0, 1] (default 0.3).
+	Gain float64
+	// Policy is the Selector evaluated by Decide.
+	Policy Selector
+}
+
+// NewStore builds an empty sharded store.
+func NewStore(cfg StoreConfig) *Store {
+	n := cfg.Shards
+	if n <= 0 {
+		n = 64
+	}
+	// Round up to a power of two so shard selection is a mask.
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	if cfg.HalfLife <= 0 {
+		cfg.HalfLife = 30 * time.Second
+	}
+	if cfg.Gain <= 0 || cfg.Gain > 1 {
+		cfg.Gain = 0.3
+	}
+	st := &Store{
+		shards:   make([]storeShard, pow),
+		mask:     uint32(pow - 1),
+		policy:   cfg.Policy,
+		halfLife: cfg.HalfLife,
+		gain:     cfg.Gain,
+	}
+	for i := range st.shards {
+		st.shards[i].sites = make(map[string]*siteState)
+	}
+	return st
+}
+
+// Policy returns the selector the store evaluates.
+func (st *Store) Policy() Selector { return st.policy }
+
+// ShardCount returns the (power-of-two) shard count.
+func (st *Store) ShardCount() int { return len(st.shards) }
+
+// shardOf hashes a site name (FNV-1a over the raw bytes — no
+// allocation, no conversion) onto a shard.
+//
+//multinet:hotpath
+func (st *Store) shardOf(site []byte) *storeShard {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for _, b := range site {
+		h ^= uint32(b)
+		h *= prime32
+	}
+	return &st.shards[h&st.mask]
+}
+
+// decayFactor returns 2^(-age/halfLife), clamping negative ages
+// (out-of-order telemetry) to no decay.
+func (st *Store) decayFactor(age time.Duration) float64 {
+	if age <= 0 {
+		return 1
+	}
+	return math.Exp2(-float64(age) / float64(st.halfLife))
+}
+
+// Observe folds one telemetry sample into the named site's estimate
+// at monotonic instant `at`. The stored history is first decayed to
+// `at`, then blended with the sample at the configured gain, so a
+// burst of samples converges quickly while a stale estimate fades on
+// its own. Site and path arrive as byte slices straight out of a
+// request buffer; they are only copied to strings when the site or
+// path is first seen (the steady state allocates nothing).
+//
+//multinet:hotpath
+func (st *Store) Observe(site, path []byte, mbps float64, rtt time.Duration, at time.Duration) {
+	sh := st.shardOf(site)
+	sh.mu.Lock()
+	s := sh.sites[string(site)] // compiler elides the conversion for map reads
+	if s == nil {
+		s = &siteState{}
+		sh.sites[string(site)] = s
+	}
+	for i := range s.paths {
+		if string(path) == s.paths[i].Name {
+			w := st.decayFactor(at - s.lastAt[i])
+			decayed := s.paths[i].Mbps * w
+			s.paths[i].Mbps = decayed + st.gain*(mbps-decayed)
+			// RTT is a latency, not a budget: it goes stale but does
+			// not shrink with silence, so it is EWMA'd without decay.
+			s.paths[i].RTT += time.Duration(st.gain * float64(rtt-s.paths[i].RTT))
+			s.lastAt[i] = at
+			sh.mu.Unlock()
+			return
+		}
+	}
+	s.paths = append(s.paths, PathEstimate{Name: string(path), Mbps: mbps, RTT: rtt}) //lint:allow hotpath first sample for a path is the cold path; steady-state updates hit the in-place branch
+	s.lastAt = append(s.lastAt, at)                                                   //lint:allow hotpath first sample for a path is the cold path; steady-state updates hit the in-place branch
+	sh.mu.Unlock()
+}
+
+// Decide evaluates the policy for the named site at monotonic instant
+// `at`, filling the caller's pooled Decision. It returns false when
+// the site has never reported telemetry. The site's estimate is
+// copied, decayed, into d's scratch under the shard lock; the policy
+// then runs outside the lock, so a slow decision never blocks the
+// site's telemetry ingest.
+//
+//multinet:hotpath
+func (st *Store) Decide(site []byte, flowBytes int, at time.Duration, d *Decision) bool {
+	sh := st.shardOf(site)
+	sh.mu.Lock()
+	s := sh.sites[string(site)]
+	if s == nil {
+		sh.mu.Unlock()
+		return false
+	}
+	d.ranked = d.ranked[:0] //lint:allow hotpath decayed-copy scratch capacity is amortised by the pooled Decision
+	for i := range s.paths {
+		p := s.paths[i]
+		p.Mbps *= st.decayFactor(at - s.lastAt[i])
+		d.ranked = append(d.ranked, p) //lint:allow hotpath decayed-copy scratch capacity is amortised by the pooled Decision
+	}
+	sh.mu.Unlock()
+	// DecideInto re-sorts d.ranked in place: handing it an Estimate
+	// aliasing its own scratch is the designed zero-copy path.
+	st.policy.DecideInto(d, Estimate{Paths: d.ranked}, flowBytes)
+	return true
+}
+
+// Sites returns the total number of sites across all shards.
+func (st *Store) Sites() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		n += len(sh.sites)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// SiteNames returns every known site name, sorted (diagnostics; takes
+// every shard lock in turn).
+func (st *Store) SiteNames() []string {
+	var names []string
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for name := range sh.sites { //lint:allow determinism collection order is erased by the sort below
+			names = append(names, name)
+		}
+		sh.mu.Unlock()
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LockSiteShard locks the shard owning site a and reports whether
+// site b lives on a different shard. It exists so layers above the
+// store (the HTTP service, load generators) can prove cross-shard
+// independence end to end; production code has no use for it. The
+// returned unlock must be called.
+func (st *Store) LockSiteShard(a, b []byte) (unlock func(), cross bool) {
+	sh := st.shardOf(a)
+	sh.mu.Lock()
+	return sh.mu.Unlock, st.shardOf(b) != sh
+}
+
+// Estimate returns a decayed snapshot of the named site's estimate at
+// instant `at` (diagnostics and tests; allocates).
+func (st *Store) Estimate(site string, at time.Duration) (Estimate, bool) {
+	sh := st.shardOf([]byte(site))
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s := sh.sites[site]
+	if s == nil {
+		return Estimate{}, false
+	}
+	var e Estimate
+	for i := range s.paths {
+		p := s.paths[i]
+		p.Mbps *= st.decayFactor(at - s.lastAt[i])
+		e.Paths = append(e.Paths, p)
+	}
+	return e, true
+}

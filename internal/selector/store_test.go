@@ -1,0 +1,203 @@
+package selector
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testStore(cfg StoreConfig) *Store {
+	return NewStore(cfg)
+}
+
+func TestStoreObserveDecideRoundTrip(t *testing.T) {
+	st := testStore(StoreConfig{})
+	at := time.Second
+	st.Observe([]byte("site-1"), []byte("wifi"), 6, 20*time.Millisecond, at)
+	st.Observe([]byte("site-1"), []byte("lte"), 5, 40*time.Millisecond, at)
+
+	var d Decision
+	if !st.Decide([]byte("site-1"), 5<<20, at, &d) {
+		t.Fatal("known site reported unknown")
+	}
+	if !d.UseMPTCP || d.Primary() != "wifi" {
+		t.Fatalf("decision = %+v, want MPTCP wifi-primary", d)
+	}
+	if st.Decide([]byte("site-2"), 5<<20, at, &d) {
+		t.Fatal("unknown site reported known")
+	}
+}
+
+func TestStoreEWMAConverges(t *testing.T) {
+	st := testStore(StoreConfig{Gain: 0.5})
+	at := time.Second
+	for i := 0; i < 20; i++ {
+		st.Observe([]byte("s"), []byte("wifi"), 10, 20*time.Millisecond, at)
+		at += 100 * time.Millisecond
+	}
+	e, ok := st.Estimate("s", at)
+	if !ok {
+		t.Fatal("site missing")
+	}
+	if m := e.Mbps("wifi"); m < 9 || m > 10 {
+		t.Fatalf("EWMA after 20 samples of 10 = %v, want near 10", m)
+	}
+}
+
+// TestStoreDecayUnderInjectedClock drives the decay model with
+// explicit instants: after one half-life of silence the estimate is
+// worth half, and a silent path eventually flips the MPTCP gate off.
+func TestStoreDecayUnderInjectedClock(t *testing.T) {
+	half := 10 * time.Second
+	st := testStore(StoreConfig{HalfLife: half})
+	at := time.Second
+	st.Observe([]byte("s"), []byte("wifi"), 8, 20*time.Millisecond, at)
+	st.Observe([]byte("s"), []byte("lte"), 8, 40*time.Millisecond, at)
+
+	e, _ := st.Estimate("s", at+half)
+	if m := e.Mbps("wifi"); m < 3.99 || m > 4.01 {
+		t.Fatalf("after one half-life: %v, want 4", m)
+	}
+
+	// Both silent: they decay together, disparity stays 1, MPTCP holds.
+	var d Decision
+	st.Decide([]byte("s"), 5<<20, at+2*half, &d)
+	if !d.UseMPTCP {
+		t.Fatal("uniform decay must not flip the gate")
+	}
+
+	// Keep LTE fresh while WiFi goes silent: disparity opens past the
+	// bound (factor 4 at two half-lives plus the refresh gain) and the
+	// decision falls back to single-path on the fresh path.
+	for i := time.Duration(1); i <= 40; i++ {
+		st.Observe([]byte("s"), []byte("lte"), 8, 40*time.Millisecond, at+i*time.Second)
+	}
+	st.Decide([]byte("s"), 5<<20, at+40*time.Second, &d)
+	if d.UseMPTCP {
+		t.Fatalf("stale wifi should fail the disparity gate: %+v", d)
+	}
+	if d.Primary() != "lte" {
+		t.Fatalf("primary = %q, want the fresh path", d.Primary())
+	}
+	if d.Rationale != RationaleDisparity {
+		t.Fatalf("rationale = %q", d.Rationale)
+	}
+}
+
+func TestStoreOutOfOrderTelemetryClamps(t *testing.T) {
+	st := testStore(StoreConfig{})
+	st.Observe([]byte("s"), []byte("wifi"), 10, 20*time.Millisecond, 10*time.Second)
+	// A sample time-stamped before the last one must not inflate the
+	// estimate through a negative-age anti-decay.
+	st.Observe([]byte("s"), []byte("wifi"), 10, 20*time.Millisecond, 5*time.Second)
+	e, _ := st.Estimate("s", 10*time.Second)
+	if m := e.Mbps("wifi"); m > 10.001 {
+		t.Fatalf("out-of-order sample inflated estimate to %v", m)
+	}
+}
+
+func TestStoreShardIndependence(t *testing.T) {
+	st := testStore(StoreConfig{Shards: 4})
+	if st.ShardCount() != 4 {
+		t.Fatalf("shards = %d", st.ShardCount())
+	}
+	// Find two sites that land on different shards.
+	shardOf := func(name string) *storeShard { return st.shardOf([]byte(name)) }
+	a := "site-a"
+	b := ""
+	for i := 0; i < 1000; i++ {
+		cand := fmt.Sprintf("site-%d", i)
+		if shardOf(cand) != shardOf(a) {
+			b = cand
+			break
+		}
+	}
+	if b == "" {
+		t.Fatal("no second shard hit in 1000 names")
+	}
+	// Hold one shard's lock; the other site's traffic must proceed.
+	sh := shardOf(a)
+	sh.mu.Lock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		st.Observe([]byte(b), []byte("wifi"), 5, 0, time.Second)
+		var d Decision
+		st.Decide([]byte(b), 1<<10, time.Second, &d)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cross-shard traffic blocked by a held shard lock")
+	}
+	sh.mu.Unlock()
+}
+
+func TestStoreShardRounding(t *testing.T) {
+	if n := testStore(StoreConfig{Shards: 3}).ShardCount(); n != 4 {
+		t.Fatalf("3 rounds to %d, want 4", n)
+	}
+	if n := testStore(StoreConfig{}).ShardCount(); n != 64 {
+		t.Fatalf("default shards = %d, want 64", n)
+	}
+}
+
+func TestStoreSites(t *testing.T) {
+	st := testStore(StoreConfig{})
+	for i := 0; i < 10; i++ {
+		st.Observe([]byte(fmt.Sprintf("site-%d", i)), []byte("wifi"), 5, 0, time.Second)
+	}
+	if st.Sites() != 10 {
+		t.Fatalf("Sites = %d", st.Sites())
+	}
+	names := st.SiteNames()
+	if len(names) != 10 || names[0] != "site-0" || names[9] != "site-9" {
+		t.Fatalf("SiteNames = %v", names)
+	}
+}
+
+func TestStoreConcurrentTraffic(t *testing.T) {
+	st := testStore(StoreConfig{Shards: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			site := []byte(fmt.Sprintf("site-%d", g%4))
+			var d Decision
+			for i := 0; i < 2000; i++ {
+				at := time.Duration(i) * time.Millisecond
+				st.Observe(site, []byte("wifi"), 6, 20*time.Millisecond, at)
+				st.Observe(site, []byte("lte"), 5, 40*time.Millisecond, at)
+				st.Decide(site, 5<<20, at, &d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st.Sites() != 4 {
+		t.Fatalf("Sites = %d, want 4", st.Sites())
+	}
+}
+
+// TestStoreDecideZeroAlloc pins the steady-state decide path at zero
+// allocations (the serve layer adds its parse/encode on top, pinned
+// separately in internal/serve).
+func TestStoreDecideZeroAlloc(t *testing.T) {
+	st := testStore(StoreConfig{})
+	site := []byte("site-1")
+	st.Observe(site, []byte("wifi"), 6, 20*time.Millisecond, time.Second)
+	st.Observe(site, []byte("lte"), 5, 40*time.Millisecond, time.Second)
+	var d Decision
+	st.Decide(site, 5<<20, time.Second, &d) // warm the scratch
+	if n := testing.AllocsPerRun(200, func() {
+		st.Decide(site, 5<<20, 2*time.Second, &d)
+	}); n != 0 {
+		t.Fatalf("steady-state Decide allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		st.Observe(site, []byte("wifi"), 6, 20*time.Millisecond, 3*time.Second)
+	}); n != 0 {
+		t.Fatalf("steady-state Observe allocates %v/op", n)
+	}
+}
