@@ -22,6 +22,10 @@ var enginePackages = []string{
 	"multinet/internal/oracle",
 	"multinet/internal/experiments",
 	"multinet/internal/replay",
+	// Fault schedules compile onto simulator timers and draw only from
+	// sim.RNG("faults"); the invariant checker reads quiescent state.
+	// Both sit squarely between seed and golden hash.
+	"multinet/internal/faults",
 	// The selector package (policy + sharded estimate store) takes time
 	// as explicit caller-supplied instants, so it holds the same
 	// no-wall-clock contract as the engine; internal/serve, which owns

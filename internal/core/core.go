@@ -74,6 +74,12 @@ type Config struct {
 	// SimultaneousJoin is the late-join ablation (all subflows start at
 	// dial time).
 	SimultaneousJoin bool
+	// WatchdogRTOs arms the MPTCP stuck-flow watchdog on both endpoints
+	// (0 = disabled): a connection making no forward progress across
+	// this many virtual RTO spans with data pending records stall
+	// events and eventually aborts instead of hanging. Fault-injection
+	// experiments set it; it never changes a fault-free run.
+	WatchdogRTOs int
 }
 
 // Name renders the configuration the way the paper labels it; a
@@ -257,6 +263,7 @@ func (s *Session) Run(cfg Config, dir Direction, size int) Result {
 		// behaviour the output goldens pin.
 		s.mpServer.SetConfig(mptcp.ServerConfig{
 			CC: cfg.CC, Mode: cfg.Mode, RecvBuf: cfg.RecvBuf, Scheduler: cfg.Scheduler,
+			WatchdogRTOs: cfg.WatchdogRTOs,
 		})
 		mcfg := mptcp.Config{
 			ConnID:           id,
@@ -268,6 +275,7 @@ func (s *Session) Run(cfg Config, dir Direction, size int) Result {
 			Scheduler:        cfg.Scheduler,
 			RoundRobin:       cfg.RoundRobin,
 			SimultaneousJoin: cfg.SimultaneousJoin,
+			WatchdogRTOs:     cfg.WatchdogRTOs,
 		}
 		if dir == Download {
 			s.mpSpecs[id] = tcpServerSpec{sendBytes: size}

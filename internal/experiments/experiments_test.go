@@ -438,8 +438,8 @@ func TestRegistryUniqueAndRunnable(t *testing.T) {
 	// benchmarks — and every registered experiment must run and render
 	// under Quick() options.
 	all := engine.All()
-	if len(all) != 28 {
-		t.Fatalf("registry holds %d experiments, want 24 paper + 4 scenario", len(all))
+	if len(all) != 29 {
+		t.Fatalf("registry holds %d experiments, want 24 paper + 5 scenario", len(all))
 	}
 	seen := map[string]bool{}
 	for _, e := range all {
@@ -620,6 +620,7 @@ var quickGolden = map[string]string{
 	"scenario-dual-wlan":  "03c0de5058b4a76c07f021c0bd878196a84f25df348bda564e345a600aaeb8b6",
 	"scenario-wifi-2lte":  "5e28cd2f73eac00db28d45bedc82639c45a8c7309199e3bc9478a470f47bff6b",
 	"scenario-schedulers": "67643cc4e6ea3321ba0fb504d5ee4630f4f82c67394273aea973639d4075a024",
+	"scenario-faults":     "516a09839dd3aeb791eb245d9bc4f32c2d9e8a792cddbc9df8bf48e1cadc0183",
 }
 
 func TestQuickOutputGolden(t *testing.T) {

@@ -2,6 +2,8 @@ package mptcp
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"multinet/internal/netem"
 	"multinet/internal/simnet"
@@ -43,6 +45,46 @@ type Config struct {
 	// RoundRobin is the legacy ablation flag, equivalent to
 	// Scheduler: SchedRoundRobin (ignored when Scheduler is set).
 	RoundRobin bool
+	// RejoinBackoff is the client-side delay before re-establishing a
+	// subflow after its interface recovers from an administrative down
+	// (default DefaultRejoinBackoff). Each consecutive failed re-join
+	// attempt doubles it, up to a fixed cap.
+	RejoinBackoff time.Duration
+	// WatchdogRTOs, when positive, enables the per-connection stuck-flow
+	// watchdog: with data pending and no forward progress across this
+	// many virtual RTO spans, the connection records a stall event and
+	// reinjects outstanding mappings; after WatchdogMaxStalls consecutive
+	// stalls it aborts, so a chaos run can never hang silently.
+	WatchdogRTOs int
+	// WatchdogMaxStalls bounds consecutive stall events before the
+	// watchdog gives up and aborts the connection (default
+	// DefaultWatchdogMaxStalls).
+	WatchdogMaxStalls int
+}
+
+// DefaultRejoinBackoff is the initial re-join delay after an interface
+// recovers — long enough to let the link settle, short against any RTO.
+const DefaultRejoinBackoff = 200 * time.Millisecond
+
+// rejoinBackoffCap bounds exponential re-join backoff.
+const rejoinBackoffCap = 10 * time.Second
+
+// DefaultWatchdogMaxStalls is how many consecutive stall events the
+// watchdog tolerates before aborting the connection.
+const DefaultWatchdogMaxStalls = 3
+
+func (c *Config) rejoinBackoff() time.Duration {
+	if c.RejoinBackoff <= 0 {
+		return DefaultRejoinBackoff
+	}
+	return c.RejoinBackoff
+}
+
+func (c *Config) watchdogMaxStalls() int {
+	if c.WatchdogMaxStalls <= 0 {
+		return DefaultWatchdogMaxStalls
+	}
+	return c.WatchdogMaxStalls
 }
 
 func (c *Config) recvBuf() int {
@@ -63,6 +105,9 @@ type Callbacks struct {
 	OnData func(c *Conn, total int64)
 	// OnClosed fires when all subflows have fully closed.
 	OnClosed func(*Conn)
+	// OnStall fires when the stuck-flow watchdog records a stall event
+	// (total is the connection's cumulative stall count).
+	OnStall func(c *Conn, total int)
 }
 
 // mapping is a scheduled chunk of the connection-level byte stream.
@@ -86,6 +131,12 @@ type Subflow struct {
 	ackScratch  []mapping // double buffer for onMappingAcked rebuilds
 	dupQueue    []mapping // scheduler-duplicated mappings awaiting send
 	reinjected  bool      // reinjection already performed for current stall
+
+	// Re-join state (client side): a dead subflow whose interface came
+	// back up re-establishes on a fresh tcp.Conn after a backoff.
+	rejoining      bool // a re-join handshake is in flight
+	rejoinAttempts int  // consecutive failed re-joins (drives backoff)
+	rejoinTimer    simnet.Timer
 }
 
 // Name returns the subflow's flow identifier.
@@ -128,8 +179,25 @@ type Conn struct {
 	// data/ack event, so rebuilding it must not allocate.
 	eligScratch []*Subflow
 
+	// everEstablished records whether any subflow ever completed its
+	// handshake: it gates the one-shot OnEstablished callback and decides
+	// whether a re-join SYN carries MP_JOIN or restarts with MP_CAPABLE.
+	everEstablished bool
+
+	// Stuck-flow watchdog state (armed only when Config.WatchdogRTOs>0).
+	watch     simnet.Timer
+	watchUna  uint64 // dataUna snapshot at last watchdog arm
+	watchRecv int64  // recvTotal snapshot at last watchdog arm
+	stallRun  int    // consecutive stall events without progress
+
 	// Diagnostics.
 	Reinjections int
+	// StallCount is the total number of watchdog stall events recorded.
+	StallCount int
+	// aborted records that AbortAll terminated the connection (watchdog
+	// gave up or a harness forced quiescence) — delivery-completeness
+	// invariants do not apply to aborted connections.
+	aborted bool
 }
 
 // newConn builds the common state.
@@ -239,8 +307,16 @@ func (c *Conn) subflowCallbacks(sf *Subflow) tcp.Callbacks {
 }
 
 func (c *Conn) subflowEstablished(sf *Subflow) {
-	first := !c.anyEstablishedExcept(sf)
+	first := !c.everEstablished
+	c.everEstablished = true
 	sf.established = true
+	if sf.rejoining {
+		// The re-join handshake completed: the subflow is a full member
+		// again, and the backoff ladder resets.
+		sf.rejoining = false
+		sf.dead = false
+		sf.rejoinAttempts = 0
+	}
 	if c.cfg.CC == Coupled {
 		sf.TCP.SetIncrease(c.liaIncrease(sf))
 	}
@@ -261,21 +337,13 @@ func (c *Conn) subflowEstablished(sf *Subflow) {
 	c.wake()
 }
 
-func (c *Conn) anyEstablishedExcept(not *Subflow) bool {
-	for _, sf := range c.subflows {
-		if sf != not && sf.established {
-			return true
-		}
-	}
-	return false
-}
-
 // Send queues n bytes of application data for striped transmission.
 func (c *Conn) Send(n int) {
 	if n <= 0 {
 		return
 	}
 	c.sendTotal += uint64(n)
+	c.armWatchdog()
 	c.wake()
 }
 
@@ -301,6 +369,76 @@ func (c *Conn) Primary() *Subflow {
 
 // ConnID returns the connection identifier.
 func (c *Conn) ConnID() string { return c.cfg.ConnID }
+
+// SendTotal returns cumulative bytes queued by the application.
+func (c *Conn) SendTotal() uint64 { return c.sendTotal }
+
+// DataAcked returns the cumulative data-level acknowledgement (bytes the
+// peer has confirmed receiving in order).
+func (c *Conn) DataAcked() uint64 { return c.dataUna }
+
+// DataScheduled returns the high-water mark of connection-level bytes
+// handed to subflows (dataNxt).
+func (c *Conn) DataScheduled() uint64 { return c.dataNxt }
+
+// RcvNxt returns the next in-order connection-level byte expected.
+func (c *Conn) RcvNxt() uint64 { return c.rcvNxt }
+
+// Closed reports whether the connection has fully closed or aborted.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Aborted reports whether AbortAll terminated the connection.
+func (c *Conn) Aborted() bool { return c.aborted }
+
+// OOORecords returns the number of out-of-order receive intervals held.
+func (c *Conn) OOORecords() int { return len(c.ooo) }
+
+// UncoveredBytes measures the stranded-mapping gap: bytes in
+// [dataUna, dataNxt) — scheduled but not yet data-acked — that no live
+// mapping record covers. A mapping counts as coverage if it sits in the
+// connection-level rtxPool or is held (outstanding or duplicate-queued)
+// by a subflow that is alive and able to retransmit it. Dead or fully
+// terminated subflows cannot retransmit, so their records do not count:
+// subflowDied must have moved them to rtxPool already. The invariant
+// checker asserts this is zero whenever the connection is not closed —
+// a nonzero value means a fault path stranded data that nothing will
+// ever resend.
+func (c *Conn) UncoveredBytes() uint64 {
+	if c.dataNxt <= c.dataUna {
+		return 0
+	}
+	iv := make([]mapping, 0, len(c.rtxPool)+8)
+	iv = append(iv, c.rtxPool...)
+	for _, sf := range c.subflows {
+		if sf.dead || sf.TCP.State() == tcp.StateDone {
+			continue
+		}
+		iv = append(iv, sf.outstanding...)
+		iv = append(iv, sf.dupQueue...)
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].dataSeq < iv[j].dataSeq })
+	covered := uint64(0)
+	pos := c.dataUna
+	for _, m := range iv {
+		end := m.end()
+		if end <= pos {
+			continue
+		}
+		lo := m.dataSeq
+		if lo < pos {
+			lo = pos
+		}
+		if lo >= c.dataNxt {
+			break
+		}
+		if end > c.dataNxt {
+			end = c.dataNxt
+		}
+		covered += end - lo
+		pos = end
+	}
+	return (c.dataNxt - c.dataUna) - covered
+}
 
 // wake offers data to eligible subflows in the scheduler's priority
 // order. Each NotifyData lets that subflow pull mappings until its
@@ -591,8 +729,20 @@ func (c *Conn) reinject(sf *Subflow, move bool) {
 
 // subflowDied handles an administrative interface down: the subflow is
 // torn down (as the kernel does on interface removal), its unacked
-// mappings reinjected for the surviving subflows.
+// mappings reinjected for the surviving subflows, and its flow entry
+// forgotten so a later re-join can reuse the flow identifier. Pooled
+// segments owned by the wire keep their single release site (the link's
+// drop paths); the abort only cancels timers and bookkeeping.
 func (c *Conn) subflowDied(sf *Subflow) {
+	if sf.rejoining {
+		// Down again mid-handshake: abort the half-open re-join conn and
+		// wait for the next recovery.
+		sf.rejoining = false
+		sf.rejoinAttempts++
+		sf.TCP.Abort()
+		c.stack.Forget(sf.TCP.Flow())
+		return
+	}
 	if sf.dead {
 		return
 	}
@@ -600,16 +750,70 @@ func (c *Conn) subflowDied(sf *Subflow) {
 	c.reinject(sf, true)
 	sf.dupQueue = nil // duplicates: the original copy lives elsewhere
 	sf.TCP.Abort()
+	c.stack.Forget(sf.TCP.Flow())
 	c.wake()
 }
 
-// subflowRevived handles an administrative interface up.
+// subflowRevived handles an administrative interface up: the client
+// schedules a re-join after a backoff (the server side waits for the
+// client's MP_JOIN instead — it never initiates subflows).
 func (c *Conn) subflowRevived(sf *Subflow) {
-	if !sf.dead {
+	if !sf.dead || sf.rejoining || c.closed || c.side != tcp.ClientSide {
 		return
 	}
-	sf.dead = false
-	c.wake()
+	c.scheduleRejoin(sf)
+}
+
+// maxRejoinAttempts bounds consecutive failed re-joins per subflow: an
+// interface that reports up but leads nowhere (blackholed) must not keep
+// the event loop alive forever.
+const maxRejoinAttempts = 16
+
+// scheduleRejoin arms sf's re-join timer with exponential backoff.
+func (c *Conn) scheduleRejoin(sf *Subflow) {
+	if sf.rejoinTimer.Active() || sf.rejoinAttempts >= maxRejoinAttempts {
+		return
+	}
+	delay := c.cfg.rejoinBackoff()
+	for i := 0; i < sf.rejoinAttempts && delay < rejoinBackoffCap; i++ {
+		delay *= 2
+	}
+	if delay > rejoinBackoffCap {
+		delay = rejoinBackoffCap
+	}
+	sf.rejoinTimer = c.sim.AfterArg(delay, subflowRejoinFire, sf)
+}
+
+func subflowRejoinFire(a any) {
+	sf := a.(*Subflow)
+	sf.conn.rejoin(sf)
+}
+
+// rejoin re-establishes a dead subflow on a fresh tcp.Conn. It reuses
+// the flow identifier (both stacks forgot it at death) and carries
+// MP_JOIN — or MP_CAPABLE when no subflow ever completed a handshake,
+// restarting the connection from scratch.
+func (c *Conn) rejoin(sf *Subflow) {
+	if !sf.dead || sf.rejoining || c.closed || sf.Iface.AdminDown() {
+		return
+	}
+	var synOpt any
+	if c.everEstablished {
+		synOpt = &MPJoin{ConnID: c.cfg.ConnID, Backup: sf.Backup}
+	} else {
+		synOpt = &MPCapable{ConnID: c.cfg.ConnID}
+	}
+	sf.rejoining = true
+	sf.established = false
+	sf.reinjected = false
+	flow := c.cfg.ConnID + "/" + sf.Iface.Name
+	sf.TCP = tcp.NewConn(c.sim, sf.Iface, netem.Up, flow, tcp.Config{
+		Source:    &sfSource{sf: sf},
+		SynOpt:    synOpt,
+		Callbacks: c.subflowCallbacks(sf),
+	})
+	c.stack.Register(sf.TCP)
+	sf.TCP.Connect()
 }
 
 // maybeClose sends FINs on every subflow once all data is delivered.
@@ -621,12 +825,24 @@ func (c *Conn) maybeClose() {
 		return
 	}
 	c.closed = true
+	c.watch.Stop()
 	for _, sf := range c.subflows {
 		sf.TCP.Close()
 	}
 }
 
 func (c *Conn) onSubflowClosed(sf *Subflow) {
+	if sf.rejoining && !c.closed {
+		// The re-join handshake gave up (SYN retransmission limit): back
+		// off further and retry while the interface is still up.
+		sf.rejoining = false
+		sf.rejoinAttempts++
+		c.stack.Forget(sf.TCP.Flow())
+		if !sf.Iface.AdminDown() {
+			c.scheduleRejoin(sf)
+		}
+		return
+	}
 	for _, other := range c.subflows {
 		if other.TCP.State() != tcp.StateDone {
 			return
@@ -634,6 +850,84 @@ func (c *Conn) onSubflowClosed(sf *Subflow) {
 	}
 	if c.cb.OnClosed != nil {
 		c.cb.OnClosed(c)
+	}
+}
+
+// armWatchdog snapshots the progress marks and schedules the next
+// stuck-flow check, one interval of WatchdogRTOs virtual RTO spans out.
+// Inert (no timer, no events) unless Config.WatchdogRTOs is positive,
+// which keeps default runs bit-identical with pre-watchdog builds.
+func (c *Conn) armWatchdog() {
+	if c.cfg.WatchdogRTOs <= 0 || c.closed || c.watch.Active() {
+		return
+	}
+	c.watchUna = c.dataUna
+	c.watchRecv = c.recvTotal
+	c.watch = c.sim.AfterArg(c.watchInterval(), connWatchdogFire, c)
+}
+
+// watchInterval is WatchdogRTOs times the largest live subflow RTO —
+// "K virtual RTOs" scaled to whatever backoff the paths are in.
+func (c *Conn) watchInterval() time.Duration {
+	rto := tcp.InitialRTO
+	for _, sf := range c.subflows {
+		if sf.TCP.State() != tcp.StateDone && sf.TCP.RTO() > rto {
+			rto = sf.TCP.RTO()
+		}
+	}
+	return time.Duration(c.cfg.WatchdogRTOs) * rto
+}
+
+func connWatchdogFire(a any) { a.(*Conn).watchdogFire() }
+
+func (c *Conn) watchdogFire() {
+	if c.closed {
+		return
+	}
+	if c.dataUna >= c.sendTotal {
+		return // nothing pending: disarm; Send re-arms
+	}
+	if c.dataUna > c.watchUna || c.recvTotal > c.watchRecv {
+		c.stallRun = 0
+		c.armWatchdog()
+		return
+	}
+	// No forward progress across K virtual RTOs with data pending: a
+	// stall. Record it, reinject everything outstanding as a recovery
+	// attempt, and abort the whole connection once the streak exceeds
+	// the budget — a chaos run terminates instead of hanging.
+	c.StallCount++
+	c.stallRun++
+	if c.cb.OnStall != nil {
+		c.cb.OnStall(c, c.StallCount)
+	}
+	if c.stallRun >= c.cfg.watchdogMaxStalls() {
+		c.AbortAll()
+		return
+	}
+	for _, sf := range c.subflows {
+		if !sf.dead && sf.established {
+			c.reinject(sf, false)
+		}
+	}
+	c.wake()
+	c.armWatchdog()
+}
+
+// AbortAll hard-terminates the connection: every subflow is aborted,
+// pending re-joins and the watchdog are cancelled, and no further data
+// will flow. The stuck-flow watchdog calls it when a stall persists;
+// harnesses may call it to guarantee quiescence.
+func (c *Conn) AbortAll() {
+	c.closed = true
+	c.aborted = true
+	c.watch.Stop()
+	for _, sf := range c.subflows {
+		sf.rejoinTimer.Stop()
+		sf.rejoining = false
+		if sf.TCP.State() != tcp.StateDone {
+			sf.TCP.Abort()
+		}
 	}
 }
 

@@ -20,6 +20,12 @@ type ServerConfig struct {
 	// connections (empty: SchedMinSRTT). The server side matters most
 	// for downloads — the data sender runs the scheduler.
 	Scheduler string
+	// WatchdogRTOs arms the stuck-flow watchdog on accepted connections
+	// (0 disables; see Config.WatchdogRTOs).
+	WatchdogRTOs int
+	// WatchdogMaxStalls bounds consecutive stalls before the watchdog
+	// aborts the connection (0: DefaultWatchdogMaxStalls).
+	WatchdogMaxStalls int
 }
 
 // Server accepts MPTCP connections on a server-side TCP stack,
@@ -74,6 +80,9 @@ func (s *Server) firstSegment(tc *tcp.Conn, seg *tcp.Segment) {
 			RecvBuf:   s.cfg.RecvBuf,
 			Scheduler: s.cfg.Scheduler,
 			Primary:   tc.Iface().Name,
+
+			WatchdogRTOs:      s.cfg.WatchdogRTOs,
+			WatchdogMaxStalls: s.cfg.WatchdogMaxStalls,
 		}, Callbacks{})
 		s.conns[opt.ConnID] = c
 		c.adoptSubflow(tc, tc.Iface(), false)

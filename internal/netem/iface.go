@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"multinet/internal/simnet"
@@ -191,6 +192,14 @@ func (i *Iface) SetBlackhole(bh bool) {
 	i.blackhole = bh
 	i.up.SetBlackhole(bh)
 	i.down.SetBlackhole(bh)
+}
+
+// SetLossProb changes the random-loss probability in both directions —
+// the fault layer's loss-burst episode. rng seeds links built without a
+// loss stream; pass nil to keep existing streams.
+func (i *Iface) SetLossProb(p float64, rng *rand.Rand) {
+	i.up.SetLossProb(p, rng)
+	i.down.SetLossProb(p, rng)
 }
 
 // AdminDown reports whether the interface is administratively down.

@@ -94,6 +94,20 @@ func (b *baseLink) SetReceiver(fn func(*Packet)) { b.recv = fn }
 func (b *baseLink) Stats() LinkStats             { return b.stats }
 func (b *baseLink) QueueLen() int                { return b.queue.len() }
 
+// SetLossProb implements Link: a fault-injected loss burst (or its
+// restore). rng is only installed when the link was built without one.
+func (b *baseLink) SetLossProb(p float64, rng *rand.Rand) {
+	b.cfg.LossProb = p
+	if b.cfg.RNG == nil && rng != nil {
+		b.cfg.RNG = rng
+	}
+}
+
+// LossProb returns the current i.i.d. drop probability — the fault
+// layer reads it before a loss burst so the restore puts back the
+// link's baseline, not zero.
+func (b *baseLink) LossProb() float64 { return b.cfg.LossProb }
+
 // admit runs the shared drop logic; it returns true when the packet was
 // queued and the caller should (re)start service. Dropped packets are
 // recycled here — the caller must not touch p after a false return.
@@ -143,6 +157,7 @@ func finishDeliver(a any) {
 		b.stats.Delivered--
 		b.stats.BytesOut -= int64(p.Size)
 		b.stats.DroppedDown++
+		b.stats.LostInFlight++
 		dropPacket(p)
 		return
 	}
@@ -156,6 +171,7 @@ func finishDeliver(a any) {
 // purge empties the queue, counting the discards as down-drops.
 func (b *baseLink) purge() {
 	b.stats.DroppedDown += b.queue.len()
+	b.stats.LostInFlight += b.queue.len()
 	b.queue.drain(dropPacket)
 }
 
@@ -363,6 +379,7 @@ func fixedLinkArrive(a any) {
 	if l.down || l.blackhole {
 		// The packet was on the wire when the link died: it is lost.
 		l.stats.DroppedDown++
+		l.stats.LostInFlight++
 		dropPacket(p)
 		return
 	}
@@ -387,6 +404,7 @@ func (l *FixedLink) stopService() {
 		p.arrive.Stop()
 		p.fl = nil
 		l.stats.DroppedDown++
+		l.stats.LostInFlight++
 		dropPacket(p)
 	}
 	if n := l.vqLen(); n > 0 {
@@ -394,6 +412,7 @@ func (l *FixedLink) stopService() {
 		// packets do; the owning fluid session notices via stateGen and
 		// discards its side of the bookkeeping.
 		l.stats.DroppedDown += n
+		l.stats.LostInFlight += n
 		l.vq = l.vq[:0]
 		l.vhead = 0
 	}
@@ -415,6 +434,14 @@ func (l *FixedLink) SetDown(down bool) {
 	} else if was && !down {
 		l.busyUntil = l.sim.Now()
 	}
+}
+
+// SetLossProb implements Link. The generation bump dissolves any fluid
+// session whose admission plan assumed the old loss regime (Lossless is
+// part of a session's eligibility check).
+func (l *FixedLink) SetLossProb(p float64, rng *rand.Rand) {
+	l.stateGen++
+	l.baseLink.SetLossProb(p, rng)
 }
 
 // SetBlackhole implements Link.

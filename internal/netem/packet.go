@@ -18,7 +18,9 @@
 package netem
 
 import (
+	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"multinet/internal/simnet"
@@ -96,11 +98,19 @@ type Recyclable interface{ Recycle() }
 var packetPool = sync.Pool{New: func() any { return new(Packet) }}
 
 // NewPacket returns a zeroed packet from the pool.
-func NewPacket() *Packet { return packetPool.Get().(*Packet) }
+func NewPacket() *Packet {
+	if leakTrack.Load() {
+		livePackets.Add(1)
+	}
+	return packetPool.Get().(*Packet)
+}
 
 // ReleasePacket resets p and returns it to the pool. The caller must
 // not touch p afterwards.
 func ReleasePacket(p *Packet) {
+	if leakTrack.Load() {
+		livePackets.Add(-1)
+	}
 	*p = Packet{}
 	packetPool.Put(p)
 }
@@ -127,6 +137,16 @@ type LinkStats struct {
 	// (see FixedLink.FluidAdmit): they are included in Sent/Delivered but
 	// never existed as simulator events.
 	Elided int
+	// LostInFlight counts admitted packets (included in Sent) that died
+	// before reaching the receiver — queued or on the wire when the link
+	// went down or blackholed. It is a sub-count of DroppedDown, kept
+	// separately so the conservation identity
+	//
+	//	Sent == Delivered + LostInFlight
+	//
+	// holds exactly at quiescence (the faults invariant checker asserts
+	// it across every fault episode).
+	LostInFlight int
 }
 
 // Link is a one-way packet carrier.
@@ -140,8 +160,33 @@ type Link interface {
 	SetDown(down bool)
 	// SetBlackhole makes the link silently swallow all packets.
 	SetBlackhole(bh bool)
+	// SetLossProb changes the i.i.d. drop probability mid-run (fault
+	// injection: loss bursts). rng is installed only when the link was
+	// built without one; pass nil to keep the existing stream.
+	SetLossProb(p float64, rng *rand.Rand)
 	// Stats returns a snapshot of the link counters.
 	Stats() LinkStats
 	// QueueLen returns the number of packets waiting or in service.
 	QueueLen() int
 }
+
+// leakTrack gates live-packet accounting. Off (the default) the pooled
+// hot path pays one predictable branch; tests running the faults
+// invariant checker switch it on around a run and assert LivePackets
+// returns to its starting value once the simulation drains.
+var leakTrack atomic.Bool
+
+var livePackets atomic.Int64
+
+// SetLeakTracking enables or disables live-packet accounting and resets
+// the counter. Enable it before building the simulation under test so
+// every NewPacket/ReleasePacket pair of the run is counted.
+func SetLeakTracking(on bool) {
+	leakTrack.Store(on)
+	livePackets.Store(0)
+}
+
+// LivePackets returns the tracked packet balance: allocations minus
+// releases since SetLeakTracking(true). Zero at quiescence means no
+// pooled-packet leak (and no double release).
+func LivePackets() int64 { return livePackets.Load() }

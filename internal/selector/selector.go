@@ -214,6 +214,13 @@ const (
 	// recommended over min-SRTT (BLEST/ECF regime, cf. the
 	// rate-splitting oracle of Dione et al., arXiv:1706.04714).
 	RationaleHoLAware = "holaware"
+	// RationaleStaleTelemetry: every path estimate has been silent for
+	// longer than the store's staleness floor, so the ranking is a
+	// memory, not a measurement. The decision degrades to single-path
+	// TCP on the best remembered path — opening a second subflow on
+	// the strength of decayed numbers is exactly the mistake the
+	// paper's adaptive conclusion warns against.
+	RationaleStaleTelemetry = "stale-telemetry"
 )
 
 // Decision is the selector's answer for one flow: the full path

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"multinet/internal/mptcp"
 )
 
 // Store is the online service's estimate state: per-site path
@@ -26,9 +28,10 @@ type Store struct {
 	shards []storeShard
 	mask   uint32
 
-	policy   Selector
-	halfLife time.Duration
-	gain     float64
+	policy     Selector
+	halfLife   time.Duration
+	gain       float64
+	staleAfter time.Duration
 }
 
 // storeShard is one lock domain. The padding keeps neighbouring
@@ -61,6 +64,13 @@ type StoreConfig struct {
 	// Gain is the EWMA weight of a fresh sample against the decayed
 	// history, in (0, 1] (default 0.3).
 	Gain float64
+	// StaleAfter is the staleness floor: when every path of a site has
+	// been silent at least this long at decide time, the estimate is
+	// too decayed to justify opening extra subflows, and Decide
+	// degrades to single-path TCP on the best remembered path with the
+	// RationaleStaleTelemetry slug (default 8×HalfLife, at which point
+	// throughput estimates retain under 0.4% of their last sample).
+	StaleAfter time.Duration
 	// Policy is the Selector evaluated by Decide.
 	Policy Selector
 }
@@ -82,12 +92,16 @@ func NewStore(cfg StoreConfig) *Store {
 	if cfg.Gain <= 0 || cfg.Gain > 1 {
 		cfg.Gain = 0.3
 	}
+	if cfg.StaleAfter <= 0 {
+		cfg.StaleAfter = 8 * cfg.HalfLife
+	}
 	st := &Store{
-		shards:   make([]storeShard, pow),
-		mask:     uint32(pow - 1),
-		policy:   cfg.Policy,
-		halfLife: cfg.HalfLife,
-		gain:     cfg.Gain,
+		shards:     make([]storeShard, pow),
+		mask:       uint32(pow - 1),
+		policy:     cfg.Policy,
+		halfLife:   cfg.HalfLife,
+		gain:       cfg.Gain,
+		staleAfter: cfg.StaleAfter,
 	}
 	for i := range st.shards {
 		st.shards[i].sites = make(map[string]*siteState)
@@ -169,6 +183,11 @@ func (st *Store) Observe(site, path []byte, mbps float64, rtt time.Duration, at 
 // then runs outside the lock, so a slow decision never blocks the
 // site's telemetry ingest.
 //
+// When every path of the site has been silent for at least StaleAfter
+// the estimate is a memory, not a measurement: the decision keeps the
+// remembered ranking but degrades to single-path TCP with the
+// RationaleStaleTelemetry slug.
+//
 //multinet:hotpath
 func (st *Store) Decide(site []byte, flowBytes int, at time.Duration, d *Decision) bool {
 	sh := st.shardOf(site)
@@ -179,17 +198,31 @@ func (st *Store) Decide(site []byte, flowBytes int, at time.Duration, d *Decisio
 		return false
 	}
 	d.ranked = d.ranked[:0] //lint:allow hotpath decayed-copy scratch capacity is amortised by the pooled Decision
+	newest := time.Duration(math.MaxInt64)
 	for i := range s.paths {
 		p := s.paths[i]
-		p.Mbps *= st.decayFactor(at - s.lastAt[i])
+		age := at - s.lastAt[i]
+		if age < newest {
+			newest = age
+		}
+		p.Mbps *= st.decayFactor(age)
 		d.ranked = append(d.ranked, p) //lint:allow hotpath decayed-copy scratch capacity is amortised by the pooled Decision
 	}
 	sh.mu.Unlock()
 	// DecideInto re-sorts d.ranked in place: handing it an Estimate
 	// aliasing its own scratch is the designed zero-copy path.
 	st.policy.DecideInto(d, Estimate{Paths: d.ranked}, flowBytes)
+	if len(d.ranked) > 0 && newest >= st.staleAfter {
+		d.UseMPTCP = false
+		d.CC = mptcp.Decoupled
+		d.Scheduler = ""
+		d.Rationale = RationaleStaleTelemetry
+	}
 	return true
 }
+
+// StaleAfter returns the staleness floor Decide degrades at.
+func (st *Store) StaleAfter() time.Duration { return st.staleAfter }
 
 // Sites returns the total number of sites across all shards.
 func (st *Store) Sites() int {

@@ -201,3 +201,65 @@ func TestStoreDecideZeroAlloc(t *testing.T) {
 		t.Fatalf("steady-state Observe allocates %v/op", n)
 	}
 }
+
+// TestStoreStaleTelemetryFloor pins the staleness floor: once every
+// path of a site has been silent for StaleAfter, Decide keeps the
+// remembered ranking but degrades to single-path TCP with the
+// wire-stable "stale-telemetry" rationale. One fresh path is enough to
+// keep the floor from tripping.
+func TestStoreStaleTelemetryFloor(t *testing.T) {
+	if RationaleStaleTelemetry != "stale-telemetry" {
+		t.Fatalf("RationaleStaleTelemetry = %q; the slug is wire-stable", RationaleStaleTelemetry)
+	}
+	half := 10 * time.Second
+	st := testStore(StoreConfig{HalfLife: half, StaleAfter: 4 * half})
+	if got := st.StaleAfter(); got != 4*half {
+		t.Fatalf("StaleAfter() = %v, want %v", got, 4*half)
+	}
+	at := time.Second
+	st.Observe([]byte("s"), []byte("wifi"), 8, 20*time.Millisecond, at)
+	st.Observe([]byte("s"), []byte("lte"), 8, 40*time.Millisecond, at)
+
+	var d Decision
+	// Just under the floor: still a live estimate, MPTCP allowed.
+	if !st.Decide([]byte("s"), 5<<20, at+4*half-time.Millisecond, &d) {
+		t.Fatal("known site reported unknown")
+	}
+	if d.Rationale == RationaleStaleTelemetry {
+		t.Fatalf("rationale %q just under the floor", d.Rationale)
+	}
+	// At the floor: degraded single-path decision, ranking preserved.
+	if !st.Decide([]byte("s"), 5<<20, at+4*half, &d) {
+		t.Fatal("known site reported unknown")
+	}
+	if d.UseMPTCP || d.Rationale != RationaleStaleTelemetry {
+		t.Fatalf("at the floor: UseMPTCP=%v rationale=%q, want degraded stale-telemetry", d.UseMPTCP, d.Rationale)
+	}
+	if d.Scheduler != "" {
+		t.Fatalf("degraded decision kept scheduler %q", d.Scheduler)
+	}
+	if d.Primary() != "wifi" {
+		t.Fatalf("degraded primary = %q, want the remembered best path", d.Primary())
+	}
+	// One fresh path resets the floor for the whole site.
+	st.Observe([]byte("s"), []byte("lte"), 8, 40*time.Millisecond, at+4*half)
+	if !st.Decide([]byte("s"), 5<<20, at+4*half, &d) {
+		t.Fatal("known site reported unknown")
+	}
+	if d.Rationale == RationaleStaleTelemetry {
+		t.Fatal("floor tripped with one fresh path")
+	}
+}
+
+// TestStoreStaleAfterDefault pins the default floor at 8x the
+// half-life.
+func TestStoreStaleAfterDefault(t *testing.T) {
+	st := testStore(StoreConfig{HalfLife: 5 * time.Second})
+	if got := st.StaleAfter(); got != 40*time.Second {
+		t.Fatalf("default StaleAfter = %v, want 8x half-life", got)
+	}
+	st = testStore(StoreConfig{})
+	if got := st.StaleAfter(); got != 240*time.Second {
+		t.Fatalf("zero-config StaleAfter = %v, want 240s", got)
+	}
+}

@@ -68,6 +68,11 @@ type Server struct {
 	telemetry   atomic.Uint64
 	unknownSite atomic.Uint64
 	badRequests atomic.Uint64
+
+	// draining flips when graceful shutdown begins: /v1/healthz starts
+	// answering 503 so load balancers pull the instance out of rotation
+	// while in-flight requests finish.
+	draining atomic.Bool
 }
 
 // Scratch is the pooled per-request state: the request buffer, the
@@ -118,9 +123,10 @@ func (s *Server) Handler() http.Handler {
 
 // Static response bodies (written verbatim; no per-request rendering).
 var (
-	errBadRequest  = []byte(`{"error":"bad request"}` + "\n")
-	errUnknownSite = []byte(`{"error":"unknown site"}` + "\n")
-	okHealthz      = []byte(`{"ok":true}` + "\n")
+	errBadRequest   = []byte(`{"error":"bad request"}` + "\n")
+	errUnknownSite  = []byte(`{"error":"unknown site"}` + "\n")
+	okHealthz       = []byte(`{"ok":true}` + "\n")
+	drainingHealthz = []byte(`{"ok":false,"draining":true}` + "\n")
 )
 
 // readBody fills sc.In with the request body, reusing its capacity.
@@ -338,5 +344,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, drainingHealthz)
+		return
+	}
 	writeJSON(w, http.StatusOK, okHealthz)
 }
+
+// SetDraining marks the server as draining (or clears the mark):
+// health checks answer 503 so orchestrators stop routing new traffic,
+// while the data endpoints keep serving whatever still arrives during
+// the shutdown grace window.
+func (s *Server) SetDraining(on bool) { s.draining.Store(on) }
+
+// Draining reports whether the server is in its shutdown drain window.
+func (s *Server) Draining() bool { return s.draining.Load() }

@@ -194,6 +194,28 @@ func TestServeStatsAndHealth(t *testing.T) {
 	}
 }
 
+func TestServeDrainingHealth(t *testing.T) {
+	// Graceful degradation: once shutdown begins, the health check
+	// flips to 503/draining so balancers stop routing here, while the
+	// data endpoints keep answering in-flight traffic.
+	s, _ := newTestServer(selector.StoreConfig{Shards: 8})
+	h := s.Handler()
+	s.SetDraining(true)
+	w := get(t, h, "/v1/healthz")
+	if w.Code != http.StatusServiceUnavailable || !strings.Contains(w.Body.String(), `"draining":true`) {
+		t.Fatalf("draining healthz = %d %q", w.Code, w.Body.String())
+	}
+	post(t, h, "/v1/telemetry", `{"site":"cdn","path":"wifi","mbps":5,"rtt_ms":20}`)
+	w = post(t, h, "/v1/decide", `{"site":"cdn","flow_bytes":1048576}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("decide while draining = %d, want 200", w.Code)
+	}
+	s.SetDraining(false)
+	if w := get(t, h, "/v1/healthz"); w.Code != http.StatusOK {
+		t.Fatalf("healthz after drain cleared = %d", w.Code)
+	}
+}
+
 func TestServeEscapedStrings(t *testing.T) {
 	s, _ := newTestServer(selector.StoreConfig{})
 	h := s.Handler()

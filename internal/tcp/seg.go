@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 const (
@@ -106,9 +107,33 @@ type SackBlock struct{ Lo, Hi uint64 }
 
 var segPool = sync.Pool{New: func() any { return new(Segment) }}
 
+// leakTrack gates live-segment accounting, mirroring netem's packet
+// tracking: one predictable branch on the pooled hot path, switched on
+// only by tests running the faults invariant checker.
+var leakTrack atomic.Bool
+
+var liveSegments atomic.Int64
+
+// SetLeakTracking enables or disables live-segment accounting and
+// resets the counter (enable before building the simulation under test).
+func SetLeakTracking(on bool) {
+	leakTrack.Store(on)
+	liveSegments.Store(0)
+}
+
+// LiveSegments returns allocations minus recycles since
+// SetLeakTracking(true); zero at quiescence means no pooled-segment
+// leak and no double recycle.
+func LiveSegments() int64 { return liveSegments.Load() }
+
 // NewSegment returns a zeroed segment from the pool. Its Sack slice may
 // retain capacity from an earlier life; append to Sack[:0] to reuse it.
-func NewSegment() *Segment { return segPool.Get().(*Segment) }
+func NewSegment() *Segment {
+	if leakTrack.Load() {
+		liveSegments.Add(1)
+	}
+	return segPool.Get().(*Segment)
+}
 
 // RecyclableOpt is implemented by segment options that want to be
 // returned to a pool when the wire segment carrying them dies. Only
@@ -123,6 +148,9 @@ type RecyclableOpt interface{ RecycleOpt() }
 // inside the network give their segments back too. The caller must not
 // touch the segment afterwards.
 func (s *Segment) Recycle() {
+	if leakTrack.Load() {
+		liveSegments.Add(-1)
+	}
 	if r, ok := s.Opt.(RecyclableOpt); ok {
 		r.RecycleOpt()
 	}
